@@ -1,0 +1,57 @@
+"""Benchmark: automatic constraint discovery (the paper's future work).
+
+Times the miner on each dataset and asserts it re-discovers the paper's
+hand-written constraints (education->age on Adult, tier->lsat on Law).
+"""
+
+import pytest
+
+from repro.constraints import ConstraintMiner
+from repro.data import load_dataset
+from repro.utils.tables import render_table
+
+from conftest import save_artifact
+
+
+@pytest.mark.parametrize("dataset,expected", [
+    ("adult", ("education", "age")),
+    ("law_school", ("tier", "lsat")),
+])
+def test_discovery_finds_paper_constraints(benchmark, dataset, expected,
+                                           artifact_dir):
+    bundle = load_dataset(dataset, n_instances=6000, seed=0)
+    miner = ConstraintMiner(bundle.encoder)
+
+    relations = benchmark(miner.mine, bundle.frame)
+    pairs = [(r.cause, r.effect) for r in relations]
+    assert expected in pairs
+
+    rows = [[r.cause, r.effect, r.rank_correlation, r.floor_monotonicity,
+             r.suggested_slope] for r in relations[:8]]
+    text = render_table(
+        ["cause", "effect", "rho", "floor-mono", "slope"], rows,
+        title=f"Discovered constraints ({dataset})", digits=3)
+    save_artifact(f"discovery_{dataset}.txt", text)
+    print("\n" + text)
+
+
+def test_mined_constraints_train_feasible_model(benchmark, adult_context,
+                                                artifact_dir):
+    from repro.core import FeasibleCFExplainer, paper_config
+
+    context = adult_context
+    miner = ConstraintMiner(context.bundle.encoder)
+    relations = miner.mine(context.bundle.frame, max_relations=2)
+    mined_set = miner.to_constraints(relations)
+
+    def train_and_score():
+        explainer = FeasibleCFExplainer(
+            context.bundle.encoder, constraints=mined_set,
+            config=paper_config("adult", "binary"),
+            blackbox=context.blackbox, seed=0)
+        explainer.fit(context.x_train, context.y_train)
+        result = explainer.explain(context.x_explain, context.desired)
+        return result.feasibility_rate
+
+    feasibility = benchmark.pedantic(train_and_score, rounds=1, iterations=1)
+    assert feasibility > 0.6  # the model learns to satisfy what was mined

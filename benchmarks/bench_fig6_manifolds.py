@@ -1,0 +1,27 @@
+"""Figure 6 benchmark: t-SNE manifolds of the latent space per dataset.
+
+Times the manifold extraction (latent sampling -> decoding -> labelling
+-> exact t-SNE) and regenerates the three-panel ASCII figure for each
+dataset, recording the separability diagnostics.
+"""
+
+import pytest
+
+from repro.experiments import build_figure6
+
+from conftest import save_artifact
+
+
+@pytest.mark.parametrize("dataset", ["adult", "kdd_census", "law_school"])
+def test_figure6_manifold(benchmark, dataset, artifact_dir):
+    figure = benchmark.pedantic(
+        build_figure6, args=(dataset,),
+        kwargs={"scale": "smoke", "n_points": 200, "tsne_iterations": 250},
+        rounds=1, iterations=1)
+    art = figure.render()
+    save_artifact(f"figure6_{dataset}.txt", art)
+    print("\n" + art)
+
+    assert len(figure.views) == 3
+    for view in figure.views:
+        assert view.embedding.shape == (200, 2)

@@ -1,0 +1,28 @@
+"""Table I benchmark: dataset generation + cleaning + encoding throughput.
+
+Regenerates the dataset-overview table and times the full data pipeline
+(SCM sampling, missing-value cleaning, min-max/one-hot encoding, split)
+for each benchmark dataset.
+"""
+
+import pytest
+
+from repro.data import load_dataset
+from repro.experiments import build_table1
+
+from conftest import save_artifact
+
+
+@pytest.mark.parametrize("dataset", ["adult", "kdd_census", "law_school"])
+def test_dataset_pipeline(benchmark, dataset):
+    bundle = benchmark(load_dataset, dataset, n_instances=4000, seed=0)
+    assert bundle.n_clean > 0
+    assert bundle.encoded.shape[0] == bundle.n_clean
+
+
+def test_table1_rendering(benchmark, artifact_dir):
+    text, rows = benchmark.pedantic(
+        build_table1, kwargs={"scale": "fast"}, rounds=1, iterations=1)
+    assert len(rows) == 3
+    save_artifact("table1.txt", text)
+    print("\n" + text)

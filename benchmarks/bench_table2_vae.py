@@ -1,0 +1,42 @@
+"""Table II benchmark: the VAE architecture — build cost and pass latency.
+
+Regenerates the layer table and times a forward+backward pass through
+the exact Table II architecture.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import build_table2
+from repro.models import ConditionalVAE
+
+from conftest import save_artifact
+
+
+def test_vae_forward_backward(benchmark):
+    vae = ConditionalVAE(29, np.random.default_rng(0))
+    x = np.random.default_rng(1).random((256, 29))
+    labels = np.zeros(256)
+
+    def pass_once():
+        reconstruction, mu, log_var, _ = vae(x, labels)
+        loss = reconstruction.sum() + mu.sum() + log_var.sum()
+        vae.zero_grad()
+        loss.backward()
+        return loss.item()
+
+    result = benchmark(pass_once)
+    assert np.isfinite(result)
+
+
+def test_vae_construction(benchmark):
+    vae = benchmark(ConditionalVAE, 29, np.random.default_rng(0))
+    assert vae.latent_dim == 10
+
+
+def test_table2_rendering(benchmark, artifact_dir):
+    text, rows = benchmark.pedantic(
+        build_table2, kwargs={"n_features": 9}, rounds=1, iterations=1)
+    assert len(rows) == 10
+    save_artifact("table2.txt", text)
+    print("\n" + text)

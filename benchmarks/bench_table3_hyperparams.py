@@ -1,0 +1,45 @@
+"""Table III benchmark: hyperparameter table + cost of one training epoch.
+
+Times a single CF-VAE epoch under each Table III configuration (scaled
+to the smoke dataset) and regenerates the settings table.
+"""
+
+import numpy as np
+import pytest
+
+from repro.constraints import ImmutableProjector, build_constraints
+from repro.core import paper_config
+from repro.core.generator import CFVAEGenerator
+from repro.experiments import build_table3
+from repro.models import ConditionalVAE
+
+from conftest import save_artifact
+
+
+@pytest.mark.parametrize("kind", ["unary", "binary"])
+def test_one_training_epoch(benchmark, adult_context, kind):
+    from dataclasses import replace
+
+    context = adult_context
+    config = replace(paper_config("adult", kind), epochs=1, warmstart_epochs=0)
+
+    def one_epoch():
+        vae = ConditionalVAE(context.bundle.encoder.n_encoded,
+                             np.random.default_rng(3))
+        generator = CFVAEGenerator(
+            vae, context.blackbox,
+            build_constraints(context.bundle.encoder, kind),
+            ImmutableProjector(context.bundle.encoder),
+            config, rng=np.random.default_rng(4))
+        generator.fit(context.x_train)
+        return generator.history[-1]["total"]
+
+    result = benchmark.pedantic(one_epoch, rounds=2, iterations=1)
+    assert np.isfinite(result)
+
+
+def test_table3_rendering(benchmark, artifact_dir):
+    text, rows = benchmark.pedantic(build_table3, rounds=1, iterations=1)
+    assert len(rows) == 6
+    save_artifact("table3.txt", text)
+    print("\n" + text)

@@ -1,0 +1,36 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one table or figure of the paper.  Rendered
+artifacts are written to ``benchmarks/_artifacts/`` so a full
+``pytest benchmarks/ --benchmark-only`` run leaves the complete set of
+reproduced tables and figures on disk.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.experiments import prepare_context
+
+ARTIFACT_DIR = pathlib.Path(__file__).parent / "_artifacts"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir():
+    """Directory collecting the rendered tables/figures."""
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    return ARTIFACT_DIR
+
+
+def save_artifact(name, text):
+    """Write one rendered artifact (helper usable without the fixture)."""
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    path = ARTIFACT_DIR / name
+    path.write_text(text + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def adult_context():
+    """Smoke-scale Adult context shared by several benchmarks."""
+    return prepare_context("adult", scale="smoke", seed=0)

@@ -1,0 +1,73 @@
+"""Census feasibility audit: which explainer can a regulator trust?
+
+Audits every counterfactual method on the (synthetic) KDD Census-Income
+dataset: for each method it reports how often the generated recourse is
+valid, how often it violates each causal constraint, and whether it
+touches protected attributes.  This is the "auditing third-party
+explainers" use of the library — the constraint objects double as
+compliance checks.
+
+Run with:  python examples/census_audit.py
+"""
+
+import numpy as np
+
+from repro.baselines import (
+    CEMExplainer,
+    DiceRandomExplainer,
+    FACEExplainer,
+    ReviseExplainer,
+)
+from repro.constraints import ImmutablesRespected, build_constraints
+from repro.core import FeasibleCFExplainer, paper_config
+from repro.experiments import prepare_context
+from repro.utils.tables import render_table
+
+
+def main():
+    print("Preparing the KDD Census-Income audit context ...")
+    context = prepare_context("kdd_census", scale="fast", seed=0)
+    encoder = context.bundle.encoder
+    unary = build_constraints(encoder, "unary")
+    binary = build_constraints(encoder, "binary")
+    immutables = ImmutablesRespected(encoder)
+    x, desired = context.x_explain, context.desired
+
+    methods = {}
+    ours = FeasibleCFExplainer(
+        encoder, constraint_kind="binary",
+        config=paper_config("kdd_census", "binary"),
+        blackbox=context.blackbox, seed=0)
+    ours.fit(context.x_train, context.y_train)
+    methods["Ours (binary)"] = ours.explain(x, desired).x_cf
+
+    for label, cls in (("REVISE", ReviseExplainer), ("CEM", CEMExplainer),
+                       ("DiCE random", DiceRandomExplainer),
+                       ("FACE", FACEExplainer)):
+        print(f"  running {label} ...")
+        explainer = cls(encoder, context.blackbox, seed=0)
+        explainer.fit(context.x_train, context.y_train)
+        methods[label] = explainer.generate(x, desired)
+
+    rows = []
+    for label, x_cf in methods.items():
+        rows.append([
+            label,
+            float((context.blackbox.predict(x_cf) == desired).mean() * 100),
+            float((1 - unary.satisfaction_rate(x, x_cf)) * 100),
+            float((1 - binary.satisfaction_rate(x, x_cf)) * 100),
+            float((1 - immutables.satisfaction_rate(x, x_cf)) * 100),
+        ])
+
+    print()
+    print(render_table(
+        ["method", "validity %", "age-decrease violations %",
+         "education/age violations %", "protected-attribute edits %"],
+        rows, title=f"Census audit ({len(x)} individuals)"))
+    print("\nEvery method projects immutables here, so protected-attribute "
+          "edits stay at zero; the causal columns are where the methods "
+          "separate.")
+
+
+if __name__ == "__main__":
+    main()

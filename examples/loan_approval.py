@@ -1,0 +1,70 @@
+"""Loan-approval recourse: the paper's motivating scenario, end to end.
+
+"What should an individual change so the bank grants the loan they now
+cannot get?" — compares the feasibility-aware model against two
+baselines (CEM and DiCE-random) on the same denied applicants and shows
+why raw sparsity is not enough: the sparsest counterfactuals often break
+the causal constraints (e.g. suggest getting younger).
+
+Run with:  python examples/loan_approval.py
+"""
+
+import numpy as np
+
+from repro.baselines import CEMExplainer, DiceRandomExplainer
+from repro.core import FeasibleCFExplainer, paper_config
+from repro.data import load_dataset
+from repro.metrics import (
+    ProximityStats,
+    evaluate_counterfactuals,
+)
+from repro.utils.tables import render_table
+
+
+def main():
+    bundle = load_dataset("adult", n_instances=6000, seed=1)
+    x_train, y_train = bundle.split("train")
+    x_test, _ = bundle.split("test")
+
+    print("Training the feasibility model (binary constraint: more education "
+          "requires more age) ...")
+    ours = FeasibleCFExplainer(
+        bundle.encoder, constraint_kind="binary",
+        config=paper_config("adult", "binary"), seed=1)
+    ours.fit(x_train, y_train)
+    blackbox = ours.blackbox
+
+    denied = x_test[blackbox.predict(x_test) == 0][:100]
+    desired = np.ones(len(denied), dtype=int)
+    stats = ProximityStats(bundle.encoder).fit(x_train)
+
+    print(f"Generating recourse for {len(denied)} denied applicants "
+          f"with three methods ...\n")
+    rows = []
+    for name, x_cf in (
+        ("Ours (feasible+sparse)", ours.explain(denied, desired).x_cf),
+        ("CEM", _fit_generate(CEMExplainer, bundle, blackbox, x_train,
+                              y_train, denied, desired)),
+        ("DiCE random", _fit_generate(DiceRandomExplainer, bundle, blackbox,
+                                      x_train, y_train, denied, desired)),
+    ):
+        report = evaluate_counterfactuals(
+            name, denied, x_cf, desired, blackbox, bundle.encoder, stats=stats)
+        rows.append([name, report.validity, report.feasibility_binary,
+                     report.sparsity])
+
+    print(render_table(
+        ["method", "validity %", "feasibility (binary) %", "features changed"],
+        rows, title="Loan recourse: validity vs feasibility vs sparsity"))
+    print("\nThe sparsest suggestions are not automatically actionable: "
+          "only the constraint-trained model keeps causal feasibility high.")
+
+
+def _fit_generate(cls, bundle, blackbox, x_train, y_train, denied, desired):
+    explainer = cls(bundle.encoder, blackbox, seed=1)
+    explainer.fit(x_train, y_train)
+    return explainer.generate(denied, desired)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Manifold exploration: where do the feasible counterfactuals live?
+
+Reproduces the paper's Figure 6 pipeline on a dataset of your choice:
+sample latent points from the trained CF-VAE, decode them, label each
+decoded example feasible/infeasible under the causal constraints, and
+project the latent space to 2-D with the from-scratch exact t-SNE.
+Prints ASCII manifolds plus the density diagnostics that quantify the
+separability the paper reads off its colour plots.
+
+Run with:  python examples/manifold_exploration.py [adult|kdd_census|law_school]
+"""
+
+import sys
+
+from repro.experiments import build_figure6
+
+
+def main():
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "adult"
+    print(f"Building Figure 6 manifolds for {dataset!r} "
+          f"(train CF-VAE, sample latents, decode, t-SNE) ...\n")
+    figure = build_figure6(dataset, scale="fast", n_points=300,
+                           tsne_iterations=350)
+    print(figure.render())
+
+    print("\nInterpretation: knn-agreement near 1.0 means feasible and "
+          "infeasible examples occupy separate regions of the manifold; "
+          "near the feasible base rate means they are mixed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The evaluation environment has an old setuptools and no ``wheel`` package,
+so PEP 660 editable installs fail; this file enables the legacy path:
+``pip install -e . --no-use-pep517 --no-build-isolation``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""Baseline counterfactual methods the paper compares against (Table IV).
+
+Each is re-implemented from its original paper on the shared
+:class:`BaseCFExplainer` interface: Mahajan et al. (causal CF-VAE, no
+sparsity), REVISE (latent gradient search), C-CHVAE (latent growing
+spheres), CEM (pertinent negatives), DiCE-random (random sampling) and
+FACE (density-weighted graph retrieval).
+"""
+
+from .base import BaseCFExplainer
+from .cchvae import CCHVAEExplainer
+from .cem import CEMExplainer
+from .dice_random import DiceRandomExplainer
+from .face import FACEExplainer
+from .mahajan import MahajanExplainer
+from .revise import ReviseExplainer
+
+__all__ = [
+    "BaseCFExplainer",
+    "MahajanExplainer", "ReviseExplainer", "CCHVAEExplainer",
+    "CEMExplainer", "DiceRandomExplainer", "FACEExplainer",
+]

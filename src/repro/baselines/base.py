@@ -1,0 +1,81 @@
+"""Shared interface for the baseline counterfactual explainers.
+
+Every method the paper compares against (Table IV) implements
+:class:`BaseCFExplainer`: fit on the training split (if the method learns
+anything), then ``generate(x, desired)`` returns encoded counterfactuals.
+All baselines respect immutable attributes via projection, mirroring the
+CARLA benchmark setup the paper used.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..constraints import ImmutableProjector
+from ..utils.validation import check_2d
+
+__all__ = ["BaseCFExplainer"]
+
+
+class BaseCFExplainer(ABC):
+    """Base class: common plumbing for baseline CF methods.
+
+    Parameters
+    ----------
+    encoder:
+        Fitted :class:`repro.data.TabularEncoder`.
+    blackbox:
+        Trained :class:`repro.models.BlackBoxClassifier` to explain.
+    seed:
+        Seed for the method's internal randomness.
+    """
+
+    #: Row label used in the Table IV reproduction.
+    name = "baseline"
+
+    def __init__(self, encoder, blackbox, seed=0):
+        self.encoder = encoder
+        self.blackbox = blackbox
+        self.seed = int(seed)
+        self.rng = np.random.default_rng(self.seed)
+        self.projector = ImmutableProjector(encoder)
+        self._fitted = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def fit(self, x_train, y_train=None):
+        """Fit method-specific machinery (default: record the data)."""
+        x_train = check_2d(x_train, "x_train")
+        self._fit(x_train, y_train)
+        self._fitted = True
+        return self
+
+    def _fit(self, x_train, y_train):
+        """Hook for subclasses; default no-op."""
+
+    def generate(self, x, desired=None):
+        """Generate encoded counterfactuals for rows ``x``.
+
+        ``desired`` defaults to the flipped black-box prediction.
+        Immutable columns are projected back to the input values.
+        """
+        if not self._fitted:
+            raise RuntimeError(f"{self.name} is not fitted; call fit() first")
+        x = check_2d(x, "x")
+        if desired is None:
+            desired = 1 - self.blackbox.predict(x)
+        else:
+            desired = np.asarray(desired, dtype=int)
+            if len(desired) != len(x):
+                raise ValueError(
+                    f"desired ({len(desired)}) and x ({len(x)}) row counts differ")
+        x_cf = self._generate(x, desired)
+        return self.projector.project(x, x_cf)
+
+    @abstractmethod
+    def _generate(self, x, desired):
+        """Method-specific generation; returns an encoded ndarray."""
+
+    def __repr__(self):
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,136 @@
+"""Command-line interface for regenerating the paper's artifacts.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli table1 --scale fast
+    python -m repro.cli table4 --dataset adult --scale smoke
+    python -m repro.cli figure6 --dataset law_school --out results/
+    python -m repro.cli all --scale fast --out results/fast
+
+Each command prints the rendered artifact and optionally writes it to
+``--out``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+__all__ = ["build_parser", "main"]
+
+_DATASETS = ("adult", "kdd_census", "law_school")
+_DATASET_LABELS = {
+    "adult": "Adult Income dataset",
+    "kdd_census": "KDD-Census Income dataset",
+    "law_school": "Law School dataset",
+}
+
+
+def build_parser():
+    """Construct the argparse parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Regenerate tables/figures of the feasible-counterfactual paper.")
+    parser.add_argument("command",
+                        choices=["table1", "table2", "table3", "table4",
+                                 "table5", "figure6", "discover", "all"],
+                        help="which artifact to regenerate")
+    parser.add_argument("--dataset", choices=_DATASETS, default="adult",
+                        help="dataset for table4/table5/figure6/discover")
+    parser.add_argument("--scale", default="fast",
+                        choices=["smoke", "fast", "standard", "paper"],
+                        help="experiment scale (see repro.experiments.SCALES)")
+    parser.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    parser.add_argument("--out", default=None,
+                        help="directory to also write artifacts into")
+    return parser
+
+
+def _emit(text, out_dir, name):
+    print(text)
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / name).write_text(text + "\n")
+
+
+def _run_table4(dataset, scale, seed, out_dir):
+    from .experiments import build_table4, run_table4
+
+    reports = run_table4(dataset, scale=scale, seed=seed, verbose=True)
+    text, _ = build_table4(reports, _DATASET_LABELS[dataset])
+    _emit(text, out_dir, f"table4_{dataset}.txt")
+
+
+def _run_table5(dataset, scale, seed, out_dir):
+    from .core import FeasibleCFExplainer, paper_config
+    from .experiments import build_table5, prepare_context
+
+    context = prepare_context(dataset, scale=scale, seed=seed)
+    explainer = FeasibleCFExplainer(
+        context.bundle.encoder, constraint_kind="binary",
+        config=paper_config(dataset, "binary"),
+        blackbox=context.blackbox, seed=seed)
+    explainer.fit(context.x_train, context.y_train)
+    batch = explainer.explain(context.x_explain, context.desired)
+    _emit(build_table5(batch)[0], out_dir, f"table5_{dataset}.txt")
+
+
+def _run_figure6(dataset, scale, seed, out_dir):
+    from .experiments import build_figure6
+
+    figure = build_figure6(dataset, scale=scale, seed=seed)
+    _emit(figure.render(), out_dir, f"figure6_{dataset}.txt")
+
+
+def _run_discover(dataset, scale, seed, out_dir):
+    from .constraints import ConstraintMiner
+    from .data import load_dataset
+    from .experiments import get_scale
+    from .utils.tables import render_table
+
+    scale_obj = get_scale(scale)
+    bundle = load_dataset(dataset, n_instances=scale_obj.instances_for(dataset),
+                          seed=seed)
+    relations = ConstraintMiner(bundle.encoder).mine(bundle.frame,
+                                                     max_relations=10)
+    rows = [[r.cause, r.effect, r.rank_correlation, r.floor_monotonicity,
+             r.suggested_slope] for r in relations]
+    text = render_table(
+        ["cause", "effect", "rho", "floor-mono", "slope"], rows,
+        title=f"Discovered constraints ({dataset})", digits=3)
+    _emit(text, out_dir, f"discovered_{dataset}.txt")
+
+
+def main(argv=None):
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    out_dir = pathlib.Path(args.out) if args.out else None
+
+    from .experiments import build_table1, build_table2, build_table3
+
+    if args.command in ("table1", "all"):
+        _emit(build_table1(scale=args.scale, seed=args.seed)[0],
+              out_dir, "table1.txt")
+    if args.command in ("table2", "all"):
+        _emit(build_table2(n_features=9)[0], out_dir, "table2.txt")
+    if args.command in ("table3", "all"):
+        _emit(build_table3()[0], out_dir, "table3.txt")
+    if args.command == "table4":
+        _run_table4(args.dataset, args.scale, args.seed, out_dir)
+    if args.command == "table5":
+        _run_table5(args.dataset, args.scale, args.seed, out_dir)
+    if args.command == "figure6":
+        _run_figure6(args.dataset, args.scale, args.seed, out_dir)
+    if args.command == "discover":
+        _run_discover(args.dataset, args.scale, args.seed, out_dir)
+    if args.command == "all":
+        for dataset in _DATASETS:
+            _run_table4(dataset, args.scale, args.seed, out_dir)
+            _run_figure6(dataset, args.scale, args.seed, out_dir)
+        _run_table5("adult", args.scale, args.seed, out_dir)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

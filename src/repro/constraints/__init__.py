@@ -1,0 +1,16 @@
+"""Causal constraints: unary (Eq. 1), binary (Eq. 2), immutables, catalog."""
+
+from .base import Constraint, ConstraintSet
+from .binary import OrdinalImplicationConstraint
+from .catalog import CONSTRAINT_KINDS, build_constraints, constraint_recipes
+from .discovery import ConstraintMiner, DiscoveredRelation
+from .immutables import ImmutableProjector, ImmutablesRespected
+from .unary import MonotonicIncreaseConstraint
+
+__all__ = [
+    "Constraint", "ConstraintSet",
+    "MonotonicIncreaseConstraint", "OrdinalImplicationConstraint",
+    "ImmutableProjector", "ImmutablesRespected",
+    "build_constraints", "constraint_recipes", "CONSTRAINT_KINDS",
+    "ConstraintMiner", "DiscoveredRelation",
+]

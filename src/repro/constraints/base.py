@@ -1,0 +1,88 @@
+"""Causal-constraint interface.
+
+A constraint judges pairs ``(x, x_cf)`` in *encoded* space and plays two
+roles in the paper:
+
+1. **Evaluation** — :meth:`Constraint.satisfied` returns a boolean per
+   row; the feasibility score of Section IV-D is the satisfied
+   percentage.
+2. **Learning** — :meth:`Constraint.penalty` returns a differentiable
+   scalar that is zero exactly when every row satisfies the constraint;
+   it is added to the four-part training loss (Section III-C).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["Constraint", "ConstraintSet"]
+
+
+class Constraint(ABC):
+    """One logical causal constraint over encoded feature matrices."""
+
+    #: Human-readable identifier used in reports.
+    name = "constraint"
+
+    @abstractmethod
+    def satisfied(self, x, x_cf):
+        """Boolean array: does each row of ``x_cf`` satisfy the constraint?
+
+        Both arguments are encoded matrices of identical shape.
+        """
+
+    @abstractmethod
+    def penalty(self, x, x_cf):
+        """Differentiable scalar :class:`repro.nn.Tensor` penalty.
+
+        ``x`` is a plain ndarray (the fixed input); ``x_cf`` is a Tensor
+        so gradients flow into the generator.  Must be non-negative and
+        zero when :meth:`satisfied` holds everywhere.
+        """
+
+    def satisfaction_rate(self, x, x_cf):
+        """Fraction of rows satisfying the constraint (the paper's score / 100)."""
+        flags = self.satisfied(x, x_cf)
+        return float(np.mean(flags)) if len(flags) else 1.0
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self.name})"
+
+
+class ConstraintSet:
+    """A collection of constraints evaluated and penalised together."""
+
+    def __init__(self, constraints):
+        self.constraints = tuple(constraints)
+
+    def __iter__(self):
+        return iter(self.constraints)
+
+    def __len__(self):
+        return len(self.constraints)
+
+    def satisfied(self, x, x_cf):
+        """Row-wise AND over all member constraints."""
+        x = np.asarray(x)
+        flags = np.ones(len(x), dtype=bool)
+        for constraint in self.constraints:
+            flags &= constraint.satisfied(x, x_cf)
+        return flags
+
+    def satisfaction_rate(self, x, x_cf):
+        """Fraction of rows satisfying *every* constraint."""
+        if not self.constraints:
+            return 1.0
+        flags = self.satisfied(x, x_cf)
+        return float(np.mean(flags)) if len(flags) else 1.0
+
+    def penalty(self, x, x_cf):
+        """Sum of member penalties (Tensor scalar, 0 when all satisfied)."""
+        from ..nn import Tensor
+
+        total = Tensor(0.0)
+        for constraint in self.constraints:
+            total = total + constraint.penalty(x, x_cf)
+        return total

@@ -1,0 +1,71 @@
+"""Per-dataset constraint catalog (Section IV-E).
+
+The paper's experiments use:
+
+* **Adult / KDD-Census** — unary: ``age`` non-decreasing (Eq. 1);
+  binary: ``education`` up implies ``age`` up (Eq. 2).
+* **Law School** — unary: ``lsat`` non-decreasing; binary: ``tier`` up
+  implies ``lsat`` up.
+
+``build_constraints(encoder, kind)`` returns the matching
+:class:`~repro.constraints.base.ConstraintSet` for the encoder's schema.
+"""
+
+from __future__ import annotations
+
+from .base import ConstraintSet
+from .binary import OrdinalImplicationConstraint
+from .unary import MonotonicIncreaseConstraint
+
+__all__ = ["build_constraints", "constraint_recipes", "CONSTRAINT_KINDS"]
+
+CONSTRAINT_KINDS = ("unary", "binary")
+
+#: dataset -> kind -> list of (constraint class, kwargs) recipes.
+_RECIPES = {
+    "adult": {
+        "unary": [(MonotonicIncreaseConstraint, {"feature": "age"})],
+        "binary": [(OrdinalImplicationConstraint,
+                    {"cause": "education", "effect": "age", "slope": 0.02})],
+    },
+    "kdd_census": {
+        "unary": [(MonotonicIncreaseConstraint, {"feature": "age"})],
+        "binary": [(OrdinalImplicationConstraint,
+                    {"cause": "education", "effect": "age", "slope": 0.02})],
+    },
+    "law_school": {
+        "unary": [(MonotonicIncreaseConstraint, {"feature": "lsat"})],
+        "binary": [(OrdinalImplicationConstraint,
+                    {"cause": "tier", "effect": "lsat", "slope": 0.05})],
+    },
+}
+
+
+def constraint_recipes(dataset_name):
+    """Return the recipe mapping for a dataset (for introspection/tests)."""
+    if dataset_name not in _RECIPES:
+        raise KeyError(f"no constraint recipes for dataset {dataset_name!r}")
+    return _RECIPES[dataset_name]
+
+
+def build_constraints(encoder, kind):
+    """Instantiate the paper's constraint set for ``encoder``'s dataset.
+
+    Parameters
+    ----------
+    encoder:
+        Fitted :class:`repro.data.TabularEncoder`; its schema name picks
+        the recipe.
+    kind:
+        ``"unary"`` (Eq. 1 model) or ``"binary"`` (Eq. 2 model).  The
+        binary model also includes the unary constraint — Eq. 2's second
+        clause subsumes it only when education is unchanged, and the
+        paper evaluates both feasibility columns on the binary model.
+    """
+    if kind not in CONSTRAINT_KINDS:
+        raise ValueError(f"kind must be one of {CONSTRAINT_KINDS}, got {kind!r}")
+    recipes = constraint_recipes(encoder.schema.name)
+    selected = list(recipes["unary"]) if kind == "unary" else \
+        list(recipes["unary"]) + list(recipes["binary"])
+    constraints = [cls(encoder, **kwargs) for cls, kwargs in selected]
+    return ConstraintSet(constraints)

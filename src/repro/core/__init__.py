@@ -1,0 +1,19 @@
+"""The paper's contribution: feasibility-aware counterfactual generation.
+
+Four-part loss (Eq. 3 + constraints + sparsity), the CF-VAE training
+loop (Figure 4) and the :class:`FeasibleCFExplainer` public API.
+"""
+
+from .config import CFTrainingConfig, PAPER_TABLE3, TABLE3_SETTINGS, fast_config, paper_config
+from .explainer import FeasibleCFExplainer
+from .generator import CFVAEGenerator
+from .losses import FourPartLoss, sparsity_penalty
+from .result import CFBatchResult
+from .selection import CandidateSet, DensityCFSelector, generate_candidates
+
+__all__ = [
+    "CFTrainingConfig", "paper_config", "TABLE3_SETTINGS", "PAPER_TABLE3", "fast_config",
+    "FourPartLoss", "sparsity_penalty",
+    "CFVAEGenerator", "CFBatchResult", "FeasibleCFExplainer",
+    "CandidateSet", "DensityCFSelector", "generate_candidates",
+]

@@ -1,0 +1,112 @@
+"""Training configuration for the feasibility CF-VAE, incl. Table III.
+
+``paper_config(dataset, kind)`` returns the hyperparameters the paper
+reports in Table III (learning rate, batch size 2048, epochs 25/50),
+plus the loss weights — which the paper leaves as "selected from
+experimentation" — tuned for this substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["CFTrainingConfig", "paper_config", "TABLE3_SETTINGS", "fast_config"]
+
+
+@dataclass(frozen=True)
+class CFTrainingConfig:
+    """Hyperparameters for the four-part counterfactual objective.
+
+    The first three fields mirror Table III; the weight fields balance
+    the loss terms of Eq. 3 (validity, proximity, feasibility, sparsity)
+    plus the VAE's KL regulariser.
+    """
+
+    learning_rate: float = 1e-3
+    batch_size: int = 2048
+    epochs: int = 25
+    optimizer: str = "adam"
+    momentum: float = 0.9
+    validity_weight: float = 1.0
+    proximity_weight: float = 1.0
+    feasibility_weight: float = 5.0
+    sparsity_l1_weight: float = 0.1
+    sparsity_l0_weight: float = 0.05
+    sparsity_l0_tau: float = 0.05
+    kl_weight: float = 0.01
+    hinge_margin: float = 0.5
+    latent_noise: float = 0.1
+    warmstart_epochs: int = 15
+    proximity_metric: str = "l1"
+
+    def __post_init__(self):
+        if self.learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {self.learning_rate}")
+        if self.batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {self.batch_size}")
+        if self.epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {self.epochs}")
+        if self.optimizer not in ("sgd", "adam"):
+            raise ValueError(f"optimizer must be 'sgd' or 'adam', got {self.optimizer!r}")
+        if self.proximity_metric not in ("l1", "l2"):
+            raise ValueError(
+                f"proximity_metric must be 'l1' or 'l2', got {self.proximity_metric!r}")
+
+    def scaled_for(self, n_rows):
+        """Adapt the batch size to small datasets (tests, examples).
+
+        The paper's batch of 2048 assumes tens of thousands of training
+        rows; on miniature datasets it would leave the optimiser with a
+        handful of steps.  This keeps at least ~8 batches per epoch
+        without exceeding the configured batch size.
+        """
+        target = max(16, min(self.batch_size, n_rows // 8))
+        if n_rows >= 8 * self.batch_size:
+            return self
+        return replace(self, batch_size=target)
+
+
+#: The hyperparameters exactly as Table III reports them (learning rate,
+#: batch size, epochs).  The paper's learning rates drive *their* training
+#: framework; on this numpy substrate the equivalent schedule is Adam at
+#: 1e-3 (see EXPERIMENTS.md), so these rows keep the paper's epoch/batch
+#: structure while ``learning_rate``/``optimizer`` hold the tuned values
+#: and ``paper_learning_rate`` records the published number.
+PAPER_TABLE3 = {
+    ("adult", "unary"): {"learning_rate": 0.2, "batch_size": 2048, "epochs": 25},
+    ("adult", "binary"): {"learning_rate": 0.2, "batch_size": 2048, "epochs": 50},
+    ("kdd_census", "unary"): {"learning_rate": 0.1, "batch_size": 2048, "epochs": 25},
+    ("kdd_census", "binary"): {"learning_rate": 0.1, "batch_size": 2048, "epochs": 25},
+    ("law_school", "unary"): {"learning_rate": 0.2, "batch_size": 2048, "epochs": 25},
+    ("law_school", "binary"): {"learning_rate": 0.2, "batch_size": 2048, "epochs": 50},
+}
+
+#: Per-dataset loss-weight adjustments.  KDD's 32 one-hot blocks squeeze
+#: through the same fixed Table II widths as Adult's 5, so data fidelity
+#: needs a stronger proximity/sparsity pull and a longer reconstruction
+#: warm-start there.
+_DATASET_OVERRIDES = {
+    "kdd_census": {"proximity_weight": 3.0, "sparsity_l0_weight": 0.2,
+                   "warmstart_epochs": 30},
+}
+
+TABLE3_SETTINGS = {
+    key: CFTrainingConfig(batch_size=row["batch_size"], epochs=row["epochs"],
+                          **_DATASET_OVERRIDES.get(key[0], {}))
+    for key, row in PAPER_TABLE3.items()
+}
+
+
+def paper_config(dataset, kind):
+    """Return the Table III-derived configuration for ``(dataset, kind)``."""
+    key = (dataset, kind)
+    if key not in TABLE3_SETTINGS:
+        raise KeyError(f"no Table III setting for {key!r}")
+    return TABLE3_SETTINGS[key]
+
+
+def fast_config(epochs=8, batch_size=256):
+    """A small configuration for tests and quick examples."""
+    return CFTrainingConfig(
+        learning_rate=3e-3, batch_size=batch_size, epochs=epochs,
+        warmstart_epochs=8)

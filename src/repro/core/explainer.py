@@ -1,0 +1,145 @@
+"""Public API: :class:`FeasibleCFExplainer`.
+
+Ties the whole pipeline together — black-box training, constraint
+construction, CF-VAE training and counterfactual generation — behind the
+interface the examples, experiments and benchmarks use:
+
+.. code-block:: python
+
+    bundle = load_dataset("adult", n_instances=5000)
+    explainer = FeasibleCFExplainer(bundle.encoder, constraint_kind="unary")
+    explainer.fit(*bundle.split("train"))
+    result = explainer.explain(bundle.split("test")[0])
+    print(result.validity_rate, result.feasibility_rate)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constraints import ConstraintSet, ImmutableProjector, build_constraints
+from ..models import BlackBoxClassifier, ConditionalVAE, train_classifier
+from ..utils.validation import check_2d, check_binary_labels
+from .config import CFTrainingConfig
+from .generator import CFVAEGenerator
+from .result import CFBatchResult
+
+__all__ = ["FeasibleCFExplainer"]
+
+
+class FeasibleCFExplainer:
+    """Feasible counterfactual explanations with causality and sparsity.
+
+    Parameters
+    ----------
+    encoder:
+        Fitted :class:`repro.data.TabularEncoder` describing the dataset.
+    constraint_kind:
+        ``"unary"`` (Eq. 1) or ``"binary"`` (Eq. 2) — which causal model
+        to train, as in the paper's two model variants.  Alternatively
+        pass ``constraints`` explicitly.
+    constraints:
+        Optional explicit :class:`repro.constraints.ConstraintSet`,
+        overriding the catalog lookup.
+    config:
+        :class:`CFTrainingConfig`; defaults to the class defaults.
+    blackbox:
+        Optionally a pre-trained classifier to explain.  When omitted,
+        :meth:`fit` trains the paper's two-linear-layer model first.
+    seed:
+        Single seed controlling model init, training and generation.
+    """
+
+    def __init__(self, encoder, constraint_kind="unary", constraints=None,
+                 config=None, blackbox=None, seed=0):
+        self.encoder = encoder
+        self.config = config or CFTrainingConfig()
+        self.seed = int(seed)
+        self._rng = np.random.default_rng(self.seed)
+
+        if constraints is not None:
+            self.constraints = constraints if isinstance(constraints, ConstraintSet) \
+                else ConstraintSet(constraints)
+            self.constraint_kind = "custom"
+        else:
+            self.constraints = build_constraints(encoder, constraint_kind)
+            self.constraint_kind = constraint_kind
+
+        self.blackbox = blackbox
+        self.projector = ImmutableProjector(encoder)
+        self.generator = None
+
+    # -- training -----------------------------------------------------------
+    def fit(self, x_train, y_train, blackbox_epochs=30, balanced=True,
+            verbose=False):
+        """Train the pipeline: black-box (if needed), then the CF-VAE.
+
+        Parameters
+        ----------
+        x_train:
+            Encoded training matrix.
+        y_train:
+            0/1 labels for the black-box stage.
+        blackbox_epochs:
+            Epochs for the classifier stage (skipped when a pre-trained
+            ``blackbox`` was supplied).
+        balanced:
+            Class-balance the classifier loss (recommended: the benchmark
+            datasets are skewed toward the undesired class).
+        """
+        x_train = check_2d(x_train, "x_train")
+        y_train = check_binary_labels(y_train, "y_train")
+
+        if self.blackbox is None:
+            self.blackbox = BlackBoxClassifier(
+                self.encoder.n_encoded, np.random.default_rng(self.seed + 1))
+            train_classifier(
+                self.blackbox, x_train, y_train, epochs=blackbox_epochs,
+                rng=np.random.default_rng(self.seed + 2), balanced=balanced,
+                verbose=verbose)
+
+        vae = ConditionalVAE(
+            self.encoder.n_encoded, np.random.default_rng(self.seed + 3))
+        self.generator = CFVAEGenerator(
+            vae, self.blackbox, self.constraints, self.projector,
+            self.config, rng=np.random.default_rng(self.seed + 4))
+        self.generator.fit(x_train, verbose=verbose)
+        return self
+
+    @property
+    def history(self):
+        """Per-epoch averaged loss parts from the CF-VAE stage."""
+        if self.generator is None:
+            return []
+        return self.generator.history
+
+    # -- explanation ------------------------------------------------------------
+    def explain(self, x, desired=None):
+        """Generate counterfactuals for encoded rows ``x``.
+
+        Returns a :class:`CFBatchResult` with validity/feasibility flags
+        computed against the black-box and the constraint set.
+        """
+        if self.generator is None:
+            raise RuntimeError("explainer is not fitted; call fit() first")
+        x = check_2d(x, "x")
+        if desired is None:
+            desired = 1 - self.blackbox.predict(x)
+        else:
+            desired = np.asarray(desired, dtype=int)
+
+        x_cf = self.generator.generate(x, desired)
+        predicted = self.blackbox.predict(x_cf)
+        return CFBatchResult(
+            x=x,
+            x_cf=x_cf,
+            desired=desired,
+            predicted=predicted,
+            valid=predicted == desired,
+            feasible=self.constraints.satisfied(x, x_cf),
+            encoder=self.encoder,
+        )
+
+    def explain_frame(self, frame, desired=None):
+        """Convenience wrapper: explain raw rows from a TabularFrame."""
+        return self.explain(self.encoder.transform(frame), desired)

@@ -1,0 +1,153 @@
+"""Training loop for the feasibility-aware counterfactual VAE.
+
+Implements the architecture of Figure 4: inputs flow through the
+conditional VAE (encoder -> perturbed latent -> decoder), immutable
+attributes are frozen, and the four-part loss — validity through the
+frozen black-box, proximity, causal-constraint feasibility and sparsity —
+trains the generator to emit feasible counterfactuals directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import SGD, Adam, Tensor, no_grad
+from ..utils.validation import check_2d
+from .losses import FourPartLoss
+
+__all__ = ["CFVAEGenerator"]
+
+
+class CFVAEGenerator:
+    """Feasible-counterfactual generator (the paper's model).
+
+    Parameters
+    ----------
+    vae:
+        :class:`repro.models.ConditionalVAE` (Table II architecture).
+    blackbox:
+        Trained, frozen :class:`repro.models.BlackBoxClassifier`.
+    constraints:
+        :class:`repro.constraints.ConstraintSet` — the unary or binary
+        causal model.
+    projector:
+        :class:`repro.constraints.ImmutableProjector` freezing immutable
+        attributes.
+    config:
+        :class:`repro.core.config.CFTrainingConfig`.
+    rng:
+        Generator for batching and latent perturbation noise.
+    """
+
+    def __init__(self, vae, blackbox, constraints, projector, config, rng=None):
+        self.vae = vae
+        self.blackbox = blackbox
+        self.constraints = constraints
+        self.projector = projector
+        self.config = config
+        self.rng = rng or np.random.default_rng(0)
+        self.loss_fn = FourPartLoss(blackbox, constraints, config)
+        self.history = []
+        self._fitted = False
+
+    # -- helpers -----------------------------------------------------------
+    def _desired_classes(self, x, desired):
+        """Default desired class: the opposite of the black-box prediction."""
+        if desired is None:
+            return 1 - self.blackbox.predict(x)
+        desired = np.asarray(desired, dtype=int)
+        if len(desired) != len(x):
+            raise ValueError(
+                f"desired ({len(desired)}) and x ({len(x)}) row counts differ")
+        return desired
+
+    def _generate_batch(self, x, desired, perturb):
+        """One differentiable pass input -> counterfactual Tensor."""
+        mu, log_var = self.vae.encode(Tensor(x), desired)
+        z = self.vae.reparameterize(mu, log_var)
+        if perturb and self.config.latent_noise:
+            noise = self.rng.normal(0.0, self.config.latent_noise, size=z.shape)
+            z = z + noise
+        decoded = self.vae.decode(z, desired)
+        projected = self.projector.project_tensor(x, decoded)
+        return projected, mu, log_var
+
+    # -- training ----------------------------------------------------------
+    def fit(self, x, desired=None, verbose=False):
+        """Train the generator on encoded inputs ``x``.
+
+        ``desired`` defaults to flipping the black-box prediction of each
+        row, which matches the CF definition (input class vs the desired,
+        opposite class).  Returns ``self``; per-epoch loss-part averages
+        accumulate in :attr:`history`.
+        """
+        x = check_2d(x, "x")
+        cfg = self.config.scaled_for(len(x))
+        desired = self._desired_classes(x, desired)
+
+        if cfg.warmstart_epochs:
+            # Reconstruction warm-start: "the decoder must conduct a
+            # faithful representation of the input data" (Section III-C).
+            # Starting the CF objective from a faithful decoder prevents
+            # the validity hinge from saturating the sigmoid outputs
+            # before proximity/sparsity can anchor them.
+            from ..models.training import train_reconstruction_vae
+
+            train_reconstruction_vae(
+                self.vae, x, desired, epochs=cfg.warmstart_epochs,
+                lr=3e-3, batch_size=cfg.batch_size, beta=0.02, rng=self.rng)
+            self.vae.train()
+
+        if cfg.optimizer == "adam":
+            optimizer = Adam(self.vae.parameters(), lr=cfg.learning_rate)
+        else:
+            optimizer = SGD(self.vae.parameters(), lr=cfg.learning_rate,
+                            momentum=cfg.momentum)
+
+        self.vae.train()
+        n_rows = len(x)
+        for epoch in range(cfg.epochs):
+            order = self.rng.permutation(n_rows)
+            epoch_parts = []
+            for start in range(0, n_rows, cfg.batch_size):
+                batch = order[start:start + cfg.batch_size]
+                optimizer.zero_grad()
+                x_cf, mu, log_var = self._generate_batch(
+                    x[batch], desired[batch], perturb=True)
+                total, parts = self.loss_fn(x[batch], x_cf, desired[batch], mu, log_var)
+                total.backward()
+                optimizer.step()
+                epoch_parts.append(parts)
+            averaged = {
+                key: float(np.mean([p[key] for p in epoch_parts]))
+                for key in epoch_parts[0]
+            }
+            self.history.append(averaged)
+            if verbose:
+                rendered = ", ".join(f"{k}={v:.4f}" for k, v in averaged.items())
+                print(f"epoch {epoch + 1}/{cfg.epochs}  {rendered}")
+        self.vae.eval()
+        self._fitted = True
+        return self
+
+    # -- generation -----------------------------------------------------------
+    def generate(self, x, desired=None, perturb=False):
+        """Generate counterfactuals for encoded rows ``x`` (ndarray out).
+
+        Uses the deterministic posterior mean (plus optional perturbation
+        when ``perturb=True``) and projects immutable attributes back to
+        their input values — the paper's "incorporated them again in the
+        final prediction".
+        """
+        if not self._fitted:
+            raise RuntimeError("generator is not fitted; call fit() first")
+        x = check_2d(x, "x")
+        desired = self._desired_classes(x, desired)
+        self.vae.eval()
+        with no_grad():
+            mu, log_var = self.vae.encode(Tensor(x), desired)
+            z = mu
+            if perturb and self.config.latent_noise:
+                z = z + self.rng.normal(0.0, self.config.latent_noise, size=mu.shape)
+            decoded = self.vae.decode(z, desired).data
+        return self.projector.project(x, decoded)

@@ -1,0 +1,74 @@
+"""Result container for generated counterfactual explanations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CFBatchResult"]
+
+
+@dataclass
+class CFBatchResult:
+    """Counterfactuals for a batch of inputs, with per-row diagnostics.
+
+    Attributes
+    ----------
+    x:
+        Original encoded inputs, shape (n, d).
+    x_cf:
+        Generated encoded counterfactuals, shape (n, d).
+    desired:
+        Desired class per row.
+    predicted:
+        Black-box class of each counterfactual.
+    valid:
+        ``predicted == desired`` per row.
+    feasible:
+        All causal constraints satisfied per row.
+    encoder:
+        The fitted :class:`repro.data.TabularEncoder`, for decoding.
+    """
+
+    x: np.ndarray
+    x_cf: np.ndarray
+    desired: np.ndarray
+    predicted: np.ndarray
+    valid: np.ndarray
+    feasible: np.ndarray
+    encoder: object
+
+    def __len__(self):
+        return len(self.x)
+
+    @property
+    def validity_rate(self):
+        """Fraction of counterfactuals achieving the desired class."""
+        return float(self.valid.mean()) if len(self) else 0.0
+
+    @property
+    def feasibility_rate(self):
+        """Fraction of counterfactuals satisfying every causal constraint."""
+        return float(self.feasible.mean()) if len(self) else 0.0
+
+    def decoded(self):
+        """Counterfactuals decoded to a raw-attribute :class:`TabularFrame`."""
+        return self.encoder.inverse_transform(self.x_cf)
+
+    def decoded_inputs(self):
+        """Original inputs decoded to a raw-attribute frame."""
+        return self.encoder.inverse_transform(self.x)
+
+    def comparison(self, index, digits=2):
+        """Side-by-side "x true vs x pred" rendering of one row (Table V style)."""
+        originals = self.decoded_inputs().row(index)
+        counterfactuals = self.decoded().row(index)
+        lines = [f"{'feature':<20} {'x true':>14} {'x pred':>14}"]
+        for name, original in originals.items():
+            new = counterfactuals[name]
+            if isinstance(original, (float, np.floating)):
+                lines.append(f"{name:<20} {original:>14.{digits}f} {new:>14.{digits}f}")
+            else:
+                lines.append(f"{name:<20} {str(original):>14} {str(new):>14}")
+        return "\n".join(lines)

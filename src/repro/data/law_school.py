@@ -1,0 +1,114 @@
+"""Synthetic Law School dataset (LSAC bar-passage study stand-in).
+
+Matches the paper's Table I row: 20 798 raw instances, 20 512 after
+cleaning, 10 attributes (1 categorical / 3 binary / 6 continuous),
+target ``pass_bar``, immutable ``sex``.
+
+Causal structure relevant to the paper's constraints: a latent aptitude
+drives ``lsat`` and ``ugpa``; ``tier`` (school selectivity, 1-6) is
+caused by LSAT and GPA — so in the data a better tier goes with a higher
+LSAT, which is exactly the binary constraint (tier up implies lsat up)
+used in Section IV-E.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .frame import TabularFrame
+from .schema import DatasetSchema, FeatureSpec, FeatureType
+from .scm import bernoulli_logit, conditional_categorical, inject_missing, standardize
+
+__all__ = ["LAW_SCHEMA", "generate_law_school"]
+
+RAW_INSTANCES = 20_798
+CLEAN_INSTANCES = 20_512
+
+RACES = ("white", "black", "hispanic", "asian", "other")
+
+LAW_SCHEMA = DatasetSchema(
+    name="law_school",
+    display_name="Law School",
+    features=(
+        FeatureSpec("lsat", FeatureType.CONTINUOUS, bounds=(120.0, 180.0)),
+        FeatureSpec("ugpa", FeatureType.CONTINUOUS, bounds=(1.5, 4.0)),
+        FeatureSpec("zfygpa", FeatureType.CONTINUOUS, bounds=(-3.5, 3.5)),
+        FeatureSpec("zgpa", FeatureType.CONTINUOUS, bounds=(-3.5, 3.5)),
+        FeatureSpec("tier", FeatureType.CONTINUOUS, bounds=(1.0, 6.0)),
+        FeatureSpec("family_income", FeatureType.CONTINUOUS, bounds=(1.0, 5.0)),
+        FeatureSpec("sex", FeatureType.BINARY, immutable=True),
+        FeatureSpec("fulltime", FeatureType.BINARY),
+        FeatureSpec("bar_prep_course", FeatureType.BINARY),
+        FeatureSpec("race", FeatureType.CATEGORICAL, categories=RACES),
+    ),
+    target="pass_bar",
+    target_classes=("fail", "pass"),
+    desired_class=1,
+)
+
+
+def generate_law_school(n_instances=RAW_INSTANCES, seed=0, missing_fraction=None):
+    """Sample the synthetic Law School dataset.
+
+    Returns ``(frame, labels)`` with missing values still present, as in
+    the other generators.
+    """
+    rng = np.random.default_rng(seed)
+    if missing_fraction is None:
+        missing_fraction = 1.0 - CLEAN_INSTANCES / RAW_INSTANCES
+
+    aptitude = rng.normal(0.0, 1.0, size=n_instances)
+    family_income = np.clip(
+        np.round(3.0 + 0.6 * aptitude + rng.normal(0.0, 1.1, n_instances)), 1.0, 5.0)
+    sex = (rng.random(n_instances) < 0.56).astype(np.float64)  # 1 = male
+    race = conditional_categorical(
+        rng, np.array(RACES, dtype=object),
+        np.tile((0.84, 0.06, 0.05, 0.04, 0.01), (n_instances, 1)))
+
+    lsat = np.clip(
+        150.0 + 8.0 * aptitude + 1.5 * (family_income - 3.0)
+        + rng.normal(0.0, 4.0, n_instances),
+        120.0, 180.0)
+    ugpa = np.clip(
+        3.1 + 0.35 * aptitude + rng.normal(0.0, 0.3, n_instances), 1.5, 4.0)
+
+    # Tier is caused by LSAT and GPA: better scores -> more selective tier.
+    admission_score = standardize(0.7 * standardize(lsat) + 0.3 * standardize(ugpa))
+    tier = np.clip(np.round(3.5 + 1.4 * admission_score
+                            + rng.normal(0.0, 0.7, n_instances)), 1.0, 6.0)
+
+    fulltime = (rng.random(n_instances) < 0.88).astype(np.float64)
+    bar_prep = (rng.random(n_instances) < 0.55).astype(np.float64)
+
+    zfygpa = np.clip(
+        0.55 * aptitude - 0.12 * (tier - 3.5) + rng.normal(0.0, 0.75, n_instances),
+        -3.5, 3.5)
+    zgpa = np.clip(
+        0.7 * zfygpa + 0.25 * aptitude + rng.normal(0.0, 0.55, n_instances),
+        -3.5, 3.5)
+
+    logits = (
+        -0.1
+        + 0.10 * (lsat - 150.0)
+        + 0.9 * zgpa
+        + 0.55 * ugpa - 1.7
+        + 0.30 * (tier - 3.5)
+        + 0.45 * fulltime
+        + 0.50 * bar_prep
+    )
+    pass_bar = bernoulli_logit(rng, logits)
+
+    frame = TabularFrame({
+        "lsat": lsat,
+        "ugpa": ugpa,
+        "zfygpa": zfygpa,
+        "zgpa": zgpa,
+        "tier": tier,
+        "family_income": family_income,
+        "sex": sex,
+        "fulltime": fulltime,
+        "bar_prep_course": bar_prep,
+        "race": race,
+    })
+    frame = inject_missing(frame, ("zfygpa", "family_income"), missing_fraction, rng)
+    return frame, pass_bar

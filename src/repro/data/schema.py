@@ -1,0 +1,140 @@
+"""Dataset schemas: feature types, bounds, immutability and constraints.
+
+The paper's method consumes heterogeneous tabular data — continuous,
+binary and categorical attributes (Table I) — with some attributes marked
+immutable (race, gender, sex).  A :class:`DatasetSchema` captures exactly
+that structure and is the contract between the data generators, the
+encoder, the constraint catalog and the explainers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["FeatureType", "FeatureSpec", "DatasetSchema"]
+
+
+class FeatureType(Enum):
+    """Kind of a tabular attribute."""
+
+    CONTINUOUS = "continuous"
+    BINARY = "binary"
+    CATEGORICAL = "categorical"
+
+
+@dataclass(frozen=True)
+class FeatureSpec:
+    """Description of a single attribute.
+
+    Parameters
+    ----------
+    name:
+        Column name.
+    ftype:
+        One of :class:`FeatureType`.
+    categories:
+        Ordered category labels; required for categorical features.  The
+        order matters for ordinal attributes such as ``education`` — the
+        binary causal constraint compares category ranks.
+    bounds:
+        ``(low, high)`` value range for continuous features; used by the
+        min-max normaliser and by generators.
+    immutable:
+        When True, explainers must not change this attribute
+        (Section III-C, "Immutable Attributes").
+    """
+
+    name: str
+    ftype: FeatureType
+    categories: tuple = ()
+    bounds: tuple = ()
+    immutable: bool = False
+
+    def __post_init__(self):
+        if self.ftype is FeatureType.CATEGORICAL and not self.categories:
+            raise ValueError(f"categorical feature {self.name!r} needs categories")
+        if self.ftype is FeatureType.CONTINUOUS and len(self.bounds) != 2:
+            raise ValueError(f"continuous feature {self.name!r} needs (low, high) bounds")
+        if self.ftype is FeatureType.CONTINUOUS and self.bounds[0] >= self.bounds[1]:
+            raise ValueError(f"feature {self.name!r} has empty bounds {self.bounds}")
+
+    @property
+    def n_categories(self):
+        """Number of category levels (0 for non-categorical features)."""
+        return len(self.categories)
+
+    def category_rank(self, label):
+        """Ordinal rank of ``label`` within :attr:`categories`."""
+        try:
+            return self.categories.index(label)
+        except ValueError:
+            raise KeyError(f"{label!r} is not a category of {self.name!r}") from None
+
+
+@dataclass(frozen=True)
+class DatasetSchema:
+    """Full description of one benchmark dataset.
+
+    Mirrors the paper's Table I row for the dataset plus the extra
+    method-level annotations (immutable attributes, target class).
+    """
+
+    name: str
+    features: tuple
+    target: str
+    target_classes: tuple = ("0", "1")
+    desired_class: int = 1
+    display_name: str = ""
+
+    def __post_init__(self):
+        names = [feature.name for feature in self.features]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate feature names in schema {self.name!r}")
+        if self.target in names:
+            raise ValueError(f"target {self.target!r} duplicates a feature name")
+
+    # -- lookups --------------------------------------------------------
+    def feature(self, name):
+        """Return the :class:`FeatureSpec` called ``name``."""
+        for spec in self.features:
+            if spec.name == name:
+                return spec
+        raise KeyError(f"no feature named {name!r} in schema {self.name!r}")
+
+    @property
+    def feature_names(self):
+        """All attribute names, in schema order."""
+        return tuple(spec.name for spec in self.features)
+
+    def _by_type(self, ftype):
+        return tuple(spec for spec in self.features if spec.ftype is ftype)
+
+    @property
+    def continuous(self):
+        """Specs of continuous attributes."""
+        return self._by_type(FeatureType.CONTINUOUS)
+
+    @property
+    def binary(self):
+        """Specs of binary attributes."""
+        return self._by_type(FeatureType.BINARY)
+
+    @property
+    def categorical(self):
+        """Specs of categorical attributes."""
+        return self._by_type(FeatureType.CATEGORICAL)
+
+    @property
+    def immutable_names(self):
+        """Names of attributes the explainers must keep fixed."""
+        return tuple(spec.name for spec in self.features if spec.immutable)
+
+    def type_counts(self):
+        """Return (n_categorical, n_binary, n_continuous) as in Table I."""
+        return (len(self.categorical), len(self.binary), len(self.continuous))
+
+    @property
+    def n_features(self):
+        """Total number of attributes (excluding the target)."""
+        return len(self.features)

@@ -1,0 +1,39 @@
+"""Train/validation/test splitting (the paper uses 80% / 10% / 10%)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["train_val_test_split"]
+
+
+def train_val_test_split(n_rows, rng, fractions=(0.8, 0.1, 0.1)):
+    """Return shuffled (train, val, test) index arrays partitioning ``n_rows``.
+
+    Parameters
+    ----------
+    n_rows:
+        Number of rows to split.
+    rng:
+        ``numpy.random.Generator`` for the shuffle.
+    fractions:
+        Three positive floats summing to 1 — defaults to the paper's
+        80:10:10 split (Section IV-A).
+    """
+    if n_rows <= 0:
+        raise ValueError(f"n_rows must be positive, got {n_rows}")
+    fractions = tuple(float(f) for f in fractions)
+    if len(fractions) != 3 or any(f <= 0 for f in fractions):
+        raise ValueError(f"need three positive fractions, got {fractions}")
+    if abs(sum(fractions) - 1.0) > 1e-9:
+        raise ValueError(f"fractions must sum to 1, got {sum(fractions)}")
+
+    order = rng.permutation(n_rows)
+    n_train = int(round(fractions[0] * n_rows))
+    n_val = int(round(fractions[1] * n_rows))
+    n_train = min(n_train, n_rows - 2)  # keep val/test non-empty on tiny inputs
+    n_val = max(1, min(n_val, n_rows - n_train - 1))
+    train = order[:n_train]
+    val = order[n_train:n_train + n_val]
+    test = order[n_train + n_val:]
+    return train, val, test

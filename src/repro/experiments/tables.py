@@ -1,0 +1,145 @@
+"""Builders that regenerate every table of the paper's evaluation section.
+
+Each ``build_table*`` returns the rendered text table (and, where useful,
+the underlying rows) in the same layout the paper prints.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import PAPER_TABLE3, paper_config
+from ..data import load_dataset
+from ..models import ConditionalVAE
+from ..nn import Linear
+from ..utils.tables import render_table
+from .runconfig import get_scale
+
+__all__ = ["build_table1", "build_table2", "build_table3", "build_table4",
+           "build_table5"]
+
+_DATASET_LABELS = {
+    "adult": "Adult",
+    "kdd_census": "KDD-Census Income",
+    "law_school": "Law School Dataset",
+}
+
+_TARGET_LABELS = {
+    "adult": "Income",
+    "kdd_census": "Income",
+    "law_school": "Pass the bar",
+}
+
+
+def build_table1(scale="fast", seed=0):
+    """Table I: datasets overview (instances, cleaned, attribute mix, target)."""
+    scale = get_scale(scale)
+    rows = []
+    for name in ("adult", "kdd_census", "law_school"):
+        bundle = load_dataset(name, n_instances=scale.instances_for(name),
+                              seed=seed)
+        categorical, binary, numerical = bundle.schema.type_counts()
+        rows.append([
+            _DATASET_LABELS[name],
+            bundle.n_raw,
+            bundle.n_clean,
+            f"{categorical}/{binary}/{numerical}",
+            _TARGET_LABELS[name],
+        ])
+    text = render_table(
+        ["Datasets", "# Instances", "# Instances (cleaned)",
+         "# Attributes (cat/bin/num)", "Target class"],
+        rows, title="TABLE I: Datasets: an overview")
+    return text, rows
+
+
+def build_table2(n_features=9):
+    """Table II: the VAE's layer-by-layer implementation settings."""
+    vae = ConditionalVAE(n_features, np.random.default_rng(0))
+    rows = []
+
+    def trunk_rows(part, trunk, final_name, final_layer):
+        linears = [m for m in trunk.modules() if isinstance(m, Linear)]
+        for index, layer in enumerate(linears, start=1):
+            rows.append([part, f"L{index}", layer.in_features,
+                         layer.out_features, "ReLU"])
+        rows.append([part, f"L{len(linears) + 1} + Sigmoid",
+                     final_layer.in_features, final_name, "Sigmoid"])
+
+    trunk_rows("Encoder", vae.encoder_trunk, "Latent space vec.", vae.mu_head)
+    trunk_rows("Decoder", vae.decoder_trunk, "Num. Features", vae.output_head)
+    text = render_table(
+        ["Part", "Layer", "Input", "Output", "Activation"],
+        rows, title=f"TABLE II: VAE's implementation settings "
+                    f"(Num. Features = {n_features}, latent = {vae.latent_dim})")
+    return text, rows
+
+
+def build_table3():
+    """Table III: hyperparameters per dataset and constraint model."""
+    rows = []
+    for (dataset, kind), row in PAPER_TABLE3.items():
+        config = paper_config(dataset, kind)
+        rows.append([
+            _DATASET_LABELS[dataset],
+            f"{kind.capitalize()}-const",
+            row["learning_rate"],
+            config.batch_size,
+            config.epochs,
+        ])
+    text = render_table(
+        ["Datasets", "Method", "Learning rate (paper)", "Batch size", "Epochs"],
+        rows, title="TABLE III: Implementation Settings")
+    return text, rows
+
+
+_METHOD_LABELS = {
+    "mahajan_unary": "Mahajan et al. Unary",
+    "mahajan_binary": "Mahajan et al. Binary",
+    "revise": "REVISE",
+    "cchvae": "C-CHVAE",
+    "cem": "CEM",
+    "dice_random": "DiCE random",
+    "face": "FACE",
+    "ours_unary": "Our method (a) Unary",
+    "ours_binary": "Our method (b) Binary",
+}
+
+
+def build_table4(reports, dataset_label=""):
+    """Table IV: method comparison from a list of MethodReports."""
+    rows = []
+    for report in reports:
+        rows.append([
+            _METHOD_LABELS.get(report.method, report.method),
+            report.validity,
+            report.feasibility_unary,
+            report.feasibility_binary,
+            report.continuous_proximity,
+            report.categorical_proximity,
+            report.sparsity,
+        ])
+    title = "TABLE IV: Results"
+    if dataset_label:
+        title += f" ({dataset_label})"
+    text = render_table(
+        ["Methods", "Validity", "Feasibility/Unary", "Feasibility/Binary",
+         "Cont. proximity", "Cat. proximity", "Sparsity"],
+        rows, title=title)
+    return text, rows
+
+
+def build_table5(result, index=None):
+    """Table V: one successful counterfactual example, decoded to raw values.
+
+    Picks the first row that is both valid and feasible unless ``index``
+    is given; returns ``(text, row_index)`` or ``(message, None)`` when no
+    row qualifies.
+    """
+    if index is None:
+        qualifying = np.flatnonzero(result.valid & result.feasible)
+        if len(qualifying) == 0:
+            return "no valid & feasible counterfactual in the batch", None
+        index = int(qualifying[0])
+    text = "TABLE V: Successful CF example\n" + result.comparison(index)
+    return text, index

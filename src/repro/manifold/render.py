@@ -1,0 +1,73 @@
+"""ASCII rendering of 2-D manifolds — the terminal version of Figure 6.
+
+The published figure colours feasible counterfactuals yellow and
+infeasible ones violet; here feasible points print as ``+`` and
+infeasible as ``.``, with ``#`` marking cells containing both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["render_scatter"]
+
+_GLYPHS = {"empty": " ", "first": ".", "second": "+", "both": "#"}
+
+
+def render_scatter(embedding, labels, width=72, height=24, title=None):
+    """Render a labelled 2-D point cloud as ASCII art.
+
+    Parameters
+    ----------
+    embedding:
+        (n, 2) coordinates.
+    labels:
+        Binary labels; 0 renders as ``.`` (infeasible), 1 as ``+``
+        (feasible), mixed cells as ``#``.
+    width, height:
+        Character-grid resolution.
+    title:
+        Optional heading line.
+    """
+    embedding = np.asarray(embedding, dtype=np.float64)
+    labels = np.asarray(labels).astype(int)
+    if embedding.ndim != 2 or embedding.shape[1] != 2:
+        raise ValueError(f"embedding must be (n, 2), got {embedding.shape}")
+    if len(embedding) != len(labels):
+        raise ValueError("embedding and labels must align")
+
+    x = embedding[:, 0]
+    y = embedding[:, 1]
+    x_span = x.max() - x.min() or 1.0
+    y_span = y.max() - y.min() or 1.0
+    columns = np.clip(((x - x.min()) / x_span * (width - 1)).astype(int), 0, width - 1)
+    rows = np.clip(((y - y.min()) / y_span * (height - 1)).astype(int), 0, height - 1)
+
+    has_zero = np.zeros((height, width), dtype=bool)
+    has_one = np.zeros((height, width), dtype=bool)
+    for row, column, label in zip(rows, columns, labels):
+        if label == 0:
+            has_zero[row, column] = True
+        else:
+            has_one[row, column] = True
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("legend: '.' infeasible   '+' feasible   '#' mixed")
+    border = "+" + "-" * width + "+"
+    lines.append(border)
+    for row in range(height - 1, -1, -1):  # y grows upward
+        cells = []
+        for column in range(width):
+            if has_zero[row, column] and has_one[row, column]:
+                cells.append(_GLYPHS["both"])
+            elif has_one[row, column]:
+                cells.append(_GLYPHS["second"])
+            elif has_zero[row, column]:
+                cells.append(_GLYPHS["first"])
+            else:
+                cells.append(_GLYPHS["empty"])
+        lines.append("|" + "".join(cells) + "|")
+    lines.append(border)
+    return "\n".join(lines)

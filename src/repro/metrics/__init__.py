@@ -1,0 +1,11 @@
+"""Evaluation metrics of Section IV-D: validity, feasibility, proximity, sparsity."""
+
+from .proximity import ProximityStats, categorical_proximity, continuous_proximity
+from .report import MethodReport, evaluate_counterfactuals
+from .scores import changed_features, feasibility_score, sparsity_score, validity_score
+
+__all__ = [
+    "validity_score", "feasibility_score", "sparsity_score", "changed_features",
+    "ProximityStats", "continuous_proximity", "categorical_proximity",
+    "MethodReport", "evaluate_counterfactuals",
+]

@@ -1,0 +1,94 @@
+"""Per-method evaluation bundle — one Table IV row.
+
+``evaluate_counterfactuals`` computes all five Section IV-D metrics for a
+batch of counterfactuals against both constraint models, producing the
+:class:`MethodReport` the experiment harness assembles into the Table IV
+reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constraints import build_constraints
+from .proximity import ProximityStats, categorical_proximity, continuous_proximity
+from .scores import feasibility_score, sparsity_score, validity_score
+
+__all__ = ["MethodReport", "evaluate_counterfactuals"]
+
+
+@dataclass(frozen=True)
+class MethodReport:
+    """All Table IV columns for one method on one dataset.
+
+    ``feasibility_unary`` / ``feasibility_binary`` may be None when the
+    method row reports only one constraint model (as the paper does for
+    Mahajan et al. and its own two model variants).
+    """
+
+    method: str
+    validity: float
+    feasibility_unary: float
+    feasibility_binary: float
+    continuous_proximity: float
+    categorical_proximity: float
+    sparsity: float
+    n_instances: int = 0
+
+    def as_row(self):
+        """Cells in the paper's Table IV column order."""
+        return [self.method, self.validity, self.feasibility_unary,
+                self.feasibility_binary, self.continuous_proximity,
+                self.categorical_proximity, self.sparsity]
+
+
+def evaluate_counterfactuals(method_name, x, x_cf, desired, blackbox, encoder,
+                             stats=None, x_train=None, report_kinds=("unary", "binary")):
+    """Compute the full metric bundle for one method's counterfactuals.
+
+    Parameters
+    ----------
+    method_name:
+        Row label.
+    x, x_cf:
+        Encoded inputs and their counterfactuals.
+    desired:
+        Desired class per row.
+    blackbox:
+        Classifier for the validity column.
+    encoder:
+        Dataset encoder (drives proximity/sparsity feature typing).
+    stats:
+        Fitted :class:`ProximityStats`; built from ``x_train`` when None.
+    x_train:
+        Training matrix used to fit ``stats`` if not supplied.
+    report_kinds:
+        Which feasibility columns to fill; others become None.
+    """
+    x = np.asarray(x)
+    x_cf = np.asarray(x_cf)
+    if stats is None:
+        if x_train is None:
+            raise ValueError("provide either fitted stats or x_train")
+        stats = ProximityStats(encoder).fit(x_train)
+
+    feasibility = {}
+    for kind in ("unary", "binary"):
+        if kind in report_kinds:
+            constraints = build_constraints(encoder, kind)
+            feasibility[kind] = feasibility_score(constraints, x, x_cf)
+        else:
+            feasibility[kind] = None
+
+    return MethodReport(
+        method=method_name,
+        validity=validity_score(blackbox, x_cf, desired),
+        feasibility_unary=feasibility["unary"],
+        feasibility_binary=feasibility["binary"],
+        continuous_proximity=continuous_proximity(x, x_cf, encoder, stats),
+        categorical_proximity=categorical_proximity(x, x_cf, encoder),
+        sparsity=sparsity_score(x, x_cf, encoder),
+        n_instances=len(x),
+    )

@@ -1,0 +1,66 @@
+"""Validity, feasibility and sparsity scores (Section IV-D).
+
+* **Validity** — percentage of counterfactuals whose black-box class
+  equals the desired class.
+* **Feasibility** — percentage of counterfactuals satisfying the logical
+  causal constraints (unary or binary set).
+* **Sparsity** — mean number of features changed between input and
+  counterfactual (lower is better).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.schema import FeatureType
+
+__all__ = ["validity_score", "feasibility_score", "sparsity_score", "changed_features"]
+
+
+def validity_score(blackbox, x_cf, desired):
+    """Percentage of rows the classifier assigns to the desired class."""
+    desired = np.asarray(desired, dtype=int)
+    if len(desired) == 0:
+        return 0.0
+    predictions = blackbox.predict(np.asarray(x_cf))
+    return float((predictions == desired).mean() * 100.0)
+
+
+def feasibility_score(constraints, x, x_cf):
+    """Percentage of rows satisfying every constraint in the set."""
+    return float(constraints.satisfaction_rate(np.asarray(x), np.asarray(x_cf)) * 100.0)
+
+
+def changed_features(x, x_cf, encoder, continuous_tolerance=0.005):
+    """Per-row count of features that differ between input and CF.
+
+    A continuous or binary feature counts as changed when its encoded
+    value moved by more than ``continuous_tolerance`` (binary columns
+    compare after rounding); a categorical feature counts as changed when
+    its argmax category differs.
+    """
+    x = np.asarray(x)
+    x_cf = np.asarray(x_cf)
+    counts = np.zeros(len(x))
+    for spec in encoder.schema.features:
+        block = encoder.feature_slices[spec.name]
+        if spec.ftype is FeatureType.CATEGORICAL:
+            before = np.argmax(x[:, block], axis=1)
+            after = np.argmax(x_cf[:, block], axis=1)
+            counts += before != after
+        elif spec.ftype is FeatureType.BINARY:
+            before = np.round(x[:, block.start])
+            after = np.round(x_cf[:, block.start])
+            counts += before != after
+        else:
+            difference = np.abs(x_cf[:, block.start] - x[:, block.start])
+            counts += difference > continuous_tolerance
+    return counts
+
+
+def sparsity_score(x, x_cf, encoder, continuous_tolerance=0.005):
+    """Mean number of changed features (the paper's sparsity score)."""
+    x = np.asarray(x)
+    if len(x) == 0:
+        return 0.0
+    return float(changed_features(x, x_cf, encoder, continuous_tolerance).mean())

@@ -1,0 +1,11 @@
+"""Models: the black-box classifier and the Table II conditional VAE."""
+
+from .blackbox import BlackBoxClassifier, accuracy, train_classifier
+from .training import train_reconstruction_vae
+from .vae import DECODER_WIDTHS, ENCODER_WIDTHS, LATENT_DIM, ConditionalVAE
+
+__all__ = [
+    "BlackBoxClassifier", "train_classifier", "accuracy",
+    "ConditionalVAE", "LATENT_DIM", "ENCODER_WIDTHS", "DECODER_WIDTHS",
+    "train_reconstruction_vae",
+]

@@ -1,0 +1,140 @@
+"""The class-conditional Variational Autoencoder of Table II.
+
+Architecture (paper Table II):
+
+* Encoder: ``num_features + 1`` -> 20 -> 16 -> 14 -> 12 -> latent, ReLU
+  after every layer, 30% dropout, sigmoid on the final mean head.  The
+  "+1" is the class conditioning — the desired class is appended as an
+  extra input column (the paper trains the generator towards the desired
+  class, following Mahajan et al.).
+* Decoder: ``latent + 1`` -> 12 -> 14 -> 16 -> 18 -> ``num_features``,
+  ReLU + dropout per layer, sigmoid output so reconstructions live in
+  [0, 1] like the min-max/one-hot encoding.  (Table II lists the last
+  decoder input as 20 where the previous output is 18; we treat that as
+  a typo and keep the consistent 18.)
+* Latent dimension 10 ("The size Latent space vector is adjusted to 10
+  features").
+
+The encoder produces ``(mu, log_var)``; sampling uses the standard
+reparameterisation trick so gradients flow to both heads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Dropout, Linear, Module, ReLU, Sequential, Tensor, no_grad
+
+__all__ = ["ConditionalVAE", "LATENT_DIM", "ENCODER_WIDTHS", "DECODER_WIDTHS"]
+
+LATENT_DIM = 10
+ENCODER_WIDTHS = (20, 16, 14, 12)
+DECODER_WIDTHS = (12, 14, 16, 18)
+DROPOUT_P = 0.3
+
+
+def _mlp(widths, rng, dropout_rng, dropout_p):
+    """Stack of Linear -> ReLU -> Dropout blocks following ``widths``."""
+    layers = []
+    for in_width, out_width in zip(widths[:-1], widths[1:]):
+        layers.append(Linear(in_width, out_width, rng, init="he"))
+        layers.append(ReLU())
+        layers.append(Dropout(dropout_p, dropout_rng))
+    return Sequential(*layers)
+
+
+class ConditionalVAE(Module):
+    """Table II VAE, conditioned on the (desired) class label.
+
+    Parameters
+    ----------
+    n_features:
+        Width of the encoded tabular input.
+    rng:
+        Seeded generator for weight init; an independent stream is split
+        off for dropout masks and reparameterisation noise.
+    latent_dim:
+        Latent width (paper: 10).
+    dropout:
+        Per-layer dropout probability (paper: 0.3).
+    """
+
+    def __init__(self, n_features, rng, latent_dim=LATENT_DIM, dropout=DROPOUT_P):
+        super().__init__()
+        self.n_features = n_features
+        self.latent_dim = latent_dim
+        noise_seed = int(rng.integers(0, 2 ** 63 - 1))
+        self._noise_rng = np.random.default_rng(noise_seed)
+
+        encoder_widths = (n_features + 1,) + ENCODER_WIDTHS
+        self.encoder_trunk = _mlp(encoder_widths, rng, self._noise_rng, dropout)
+        self.mu_head = Linear(ENCODER_WIDTHS[-1], latent_dim, rng, init="xavier")
+        self.log_var_head = Linear(ENCODER_WIDTHS[-1], latent_dim, rng, init="xavier")
+
+        decoder_widths = (latent_dim + 1,) + DECODER_WIDTHS
+        self.decoder_trunk = _mlp(decoder_widths, rng, self._noise_rng, dropout)
+        self.output_head = Linear(DECODER_WIDTHS[-1], n_features, rng, init="xavier")
+
+    # -- pieces ------------------------------------------------------------
+    @staticmethod
+    def _with_class(x, labels):
+        """Append the class label as an extra column."""
+        labels = np.asarray(labels, dtype=np.float64).reshape(-1, 1)
+        column = Tensor(labels)
+        return Tensor.concatenate([x, column], axis=1)
+
+    def encode(self, x, labels):
+        """Map inputs + class to ``(mu, log_var)``.
+
+        ``mu`` passes through a sigmoid (Table II's "L5 + Sigmoid"), so
+        the latent mean lives in (0, 1); ``log_var`` is unconstrained but
+        clipped in :meth:`reparameterize` for numerical safety.
+        """
+        hidden = self.encoder_trunk(self._with_class(x, labels))
+        mu = self.mu_head(hidden).sigmoid()
+        log_var = self.log_var_head(hidden)
+        return mu, log_var
+
+    def reparameterize(self, mu, log_var):
+        """Sample ``z = mu + sigma * eps`` with pathwise gradients."""
+        eps = self._noise_rng.standard_normal(mu.shape)
+        sigma = (log_var * 0.5).maximum(Tensor(np.full(log_var.shape, -10.0))).exp()
+        return mu + sigma * eps
+
+    def decode(self, z, labels):
+        """Map latent + class back to feature space, sigmoid bounded."""
+        hidden = self.decoder_trunk(self._with_class(z, labels))
+        return self.output_head(hidden).sigmoid()
+
+    def forward(self, x, labels=None):
+        """Full pass: returns ``(reconstruction, mu, log_var, z)``."""
+        if labels is None:
+            labels = np.zeros(len(x) if hasattr(x, "__len__") else x.shape[0])
+        mu, log_var = self.encode(x, labels)
+        z = self.reparameterize(mu, log_var)
+        return self.decode(z, labels), mu, log_var, z
+
+    def __call__(self, x, labels=None):
+        from ..nn import as_tensor
+        return self.forward(as_tensor(x), labels)
+
+    # -- inference helpers ----------------------------------------------------
+    def reconstruct(self, x, labels):
+        """Deterministic eval-mode reconstruction (z = mu), as ndarray."""
+        self.eval()
+        with no_grad():
+            mu, _ = self.encode(Tensor(np.asarray(x, dtype=np.float64)), labels)
+            return self.decode(mu, labels).data
+
+    def sample_latent(self, x, labels):
+        """Eval-mode stochastic latent samples, as ndarray."""
+        self.eval()
+        with no_grad():
+            mu, log_var = self.encode(Tensor(np.asarray(x, dtype=np.float64)), labels)
+            return self.reparameterize(mu, log_var).data
+
+    def decode_latent(self, z, labels):
+        """Eval-mode decode of plain latent ndarray."""
+        self.eval()
+        with no_grad():
+            return self.decode(Tensor(np.asarray(z, dtype=np.float64)), labels).data

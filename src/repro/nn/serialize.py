@@ -1,0 +1,25 @@
+"""Save and load model parameters as ``.npz`` archives.
+
+Keeps trained black-box classifiers and VAEs reusable across the
+experiment harness, the examples and the benchmarks without retraining.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["save_state", "load_state"]
+
+
+def save_state(path, module):
+    """Write ``module.state_dict()`` to ``path`` as a compressed npz."""
+    state = module.state_dict()
+    np.savez_compressed(path, **state)
+
+
+def load_state(path, module):
+    """Load an npz produced by :func:`save_state` into ``module``."""
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    module.load_state_dict(state)
+    return module

@@ -1,0 +1,447 @@
+"""Reverse-mode automatic differentiation on top of numpy arrays.
+
+This module is the computational substrate for every model in the
+reproduction (the black-box classifier, the VAE and the gradient-based
+baselines).  It implements a small but complete autograd engine:
+
+* :class:`Tensor` wraps a ``numpy.ndarray`` and records the operations
+  applied to it in a DAG.
+* :meth:`Tensor.backward` walks the DAG in reverse topological order and
+  accumulates gradients, with full support for numpy broadcasting.
+
+The design mirrors the micro-autograd style popularised by PyTorch: each
+primitive op stores a closure that knows how to push the output gradient
+back to its parents.  All gradients are verified against central finite
+differences in ``tests/nn/test_gradcheck.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables graph construction.
+
+    Inside a ``with no_grad():`` block every operation produces detached
+    tensors.  Used by evaluation loops and by the data pipelines, where
+    gradient tracking would only waste memory.
+    """
+
+    def __enter__(self):
+        global _GRAD_ENABLED
+        self._previous = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._previous
+        return False
+
+
+def is_grad_enabled():
+    """Return whether operations currently record the autograd graph."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad, shape):
+    """Reduce ``grad`` back to ``shape`` by summing broadcast dimensions.
+
+    Numpy broadcasting can expand an operand along leading axes or along
+    axes of size one; the gradient of a broadcast is the sum over the
+    expanded axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum away leading axes added by broadcasting.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum axes that were expanded from size one.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+def as_tensor(value, requires_grad=False):
+    """Coerce ``value`` (Tensor, ndarray or scalar) into a :class:`Tensor`."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(np.asarray(value, dtype=np.float64), requires_grad=requires_grad)
+
+
+class Tensor:
+    """A numpy array with reverse-mode autograd.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a float64 ``numpy.ndarray``.
+    requires_grad:
+        When True the tensor accumulates gradients in :attr:`grad`
+        during :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward")
+    __array_priority__ = 100  # make numpy defer to our __r*__ operators
+
+    def __init__(self, data, requires_grad=False, _parents=(), _backward=None):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.grad = None
+        self._parents = _parents if self.requires_grad or _parents else ()
+        self._backward = _backward
+
+    # ------------------------------------------------------------------
+    # introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self):
+        """Shape of the wrapped array."""
+        return self.data.shape
+
+    @property
+    def ndim(self):
+        """Number of array dimensions."""
+        return self.data.ndim
+
+    @property
+    def size(self):
+        """Total number of elements."""
+        return self.data.size
+
+    def __len__(self):
+        return len(self.data)
+
+    def __repr__(self):
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({self.data!r}{flag})"
+
+    def numpy(self):
+        """Return the underlying ndarray (no copy)."""
+        return self.data
+
+    def item(self):
+        """Return the value of a single-element tensor as a Python float."""
+        return float(self.data)
+
+    def detach(self):
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self):
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # graph construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(data, parents, backward):
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        if not requires:
+            return Tensor(data)
+        return Tensor(data, requires_grad=True, _parents=tuple(parents), _backward=backward)
+
+    def backward(self, grad=None):
+        """Backpropagate from this tensor through the recorded graph.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of some scalar objective w.r.t. this tensor.  Defaults
+            to ones, which is only meaningful for scalar outputs.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar outputs")
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=np.float64)
+
+        # Reverse topological order over the DAG.
+        order = []
+        visited = set()
+        stack = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads = {id(self): grad}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.grad is None:
+                node.grad = node_grad.copy()
+            else:
+                node.grad = node.grad + node_grad
+            if node._backward is None:
+                continue
+            for parent, parent_grad in node._backward(node_grad):
+                if not parent.requires_grad:
+                    continue
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + parent_grad
+                else:
+                    grads[key] = parent_grad
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other):
+        other = as_tensor(other)
+        out_data = self.data + other.data
+
+        def backward(g):
+            return ((self, _unbroadcast(g, self.shape)),
+                    (other, _unbroadcast(g, other.shape)))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self):
+        def backward(g):
+            return ((self, -g),)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other):
+        return self + (-as_tensor(other))
+
+    def __rsub__(self, other):
+        return as_tensor(other) + (-self)
+
+    def __mul__(self, other):
+        other = as_tensor(other)
+        out_data = self.data * other.data
+
+        def backward(g):
+            return ((self, _unbroadcast(g * other.data, self.shape)),
+                    (other, _unbroadcast(g * self.data, other.shape)))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        other = as_tensor(other)
+        out_data = self.data / other.data
+
+        def backward(g):
+            return ((self, _unbroadcast(g / other.data, self.shape)),
+                    (other, _unbroadcast(-g * self.data / (other.data ** 2), other.shape)))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other):
+        return as_tensor(other) / self
+
+    def __pow__(self, exponent):
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data ** exponent
+
+        def backward(g):
+            return ((self, g * exponent * self.data ** (exponent - 1)),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __matmul__(self, other):
+        other = as_tensor(other)
+        out_data = self.data @ other.data
+
+        def backward(g):
+            grad_self = g @ other.data.T if other.data.ndim > 1 else np.outer(g, other.data)
+            grad_other = self.data.T @ g if self.data.ndim > 1 else np.outer(self.data, g)
+            return ((self, grad_self.reshape(self.shape)),
+                    (other, grad_other.reshape(other.shape)))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # elementwise non-linearities
+    # ------------------------------------------------------------------
+    def exp(self):
+        """Elementwise exponential."""
+        out_data = np.exp(self.data)
+
+        def backward(g):
+            return ((self, g * out_data),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def log(self):
+        """Elementwise natural logarithm."""
+        def backward(g):
+            return ((self, g / self.data),)
+
+        return Tensor._make(np.log(self.data), (self,), backward)
+
+    def sqrt(self):
+        """Elementwise square root."""
+        out_data = np.sqrt(self.data)
+
+        def backward(g):
+            return ((self, g * 0.5 / out_data),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def relu(self):
+        """Rectified linear unit, ``max(x, 0)``."""
+        mask = self.data > 0
+
+        def backward(g):
+            return ((self, g * mask),)
+
+        return Tensor._make(self.data * mask, (self,), backward)
+
+    def sigmoid(self):
+        """Numerically stable logistic sigmoid."""
+        out_data = np.where(self.data >= 0,
+                            1.0 / (1.0 + np.exp(-np.clip(self.data, -500, 500))),
+                            np.exp(np.clip(self.data, -500, 500))
+                            / (1.0 + np.exp(np.clip(self.data, -500, 500))))
+
+        def backward(g):
+            return ((self, g * out_data * (1.0 - out_data)),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def tanh(self):
+        """Hyperbolic tangent."""
+        out_data = np.tanh(self.data)
+
+        def backward(g):
+            return ((self, g * (1.0 - out_data ** 2)),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def abs(self):
+        """Elementwise absolute value (subgradient 0 at the kink)."""
+        sign = np.sign(self.data)
+
+        def backward(g):
+            return ((self, g * sign),)
+
+        return Tensor._make(np.abs(self.data), (self,), backward)
+
+    def clip_min(self, low):
+        """Elementwise ``max(x, low)`` with pass-through gradient above ``low``."""
+        mask = self.data > low
+
+        def backward(g):
+            return ((self, g * mask),)
+
+        return Tensor._make(np.maximum(self.data, low), (self,), backward)
+
+    def maximum(self, other):
+        """Elementwise maximum of two tensors (ties send gradient left)."""
+        other = as_tensor(other)
+        take_self = self.data >= other.data
+        out_data = np.where(take_self, self.data, other.data)
+
+        def backward(g):
+            return ((self, _unbroadcast(g * take_self, self.shape)),
+                    (other, _unbroadcast(g * ~take_self, other.shape)))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # reductions and reshaping
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims=False):
+        """Sum over ``axis`` (all elements when None)."""
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        shape = self.shape
+
+        def backward(g):
+            grad = np.asarray(g)
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis)
+            return ((self, np.broadcast_to(grad, shape).copy()),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims=False):
+        """Arithmetic mean over ``axis`` (all elements when None)."""
+        if axis is None:
+            count = self.data.size
+        else:
+            count = self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def reshape(self, *shape):
+        """Return a tensor viewing the same data with a new shape."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        old_shape = self.shape
+
+        def backward(g):
+            return ((self, g.reshape(old_shape)),)
+
+        return Tensor._make(self.data.reshape(shape), (self,), backward)
+
+    @property
+    def T(self):
+        """Matrix transpose (2-D tensors)."""
+        def backward(g):
+            return ((self, g.T),)
+
+        return Tensor._make(self.data.T, (self,), backward)
+
+    def __getitem__(self, index):
+        out_data = self.data[index]
+        shape = self.shape
+
+        def backward(g):
+            grad = np.zeros(shape, dtype=np.float64)
+            np.add.at(grad, index, g)
+            return ((self, grad),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    @staticmethod
+    def concatenate(tensors, axis=0):
+        """Concatenate tensors along ``axis``, differentiable in each input."""
+        tensors = [as_tensor(t) for t in tensors]
+        out_data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.data.shape[axis] for t in tensors]
+
+        def backward(g):
+            pieces = np.split(g, np.cumsum(sizes)[:-1], axis=axis)
+            return tuple((t, piece) for t, piece in zip(tensors, pieces))
+
+        return Tensor._make(out_data, tuple(tensors), backward)
+
+    @staticmethod
+    def where(condition, a, b):
+        """Differentiable ``numpy.where`` over a boolean ``condition`` array."""
+        a = as_tensor(a)
+        b = as_tensor(b)
+        cond = np.asarray(condition, dtype=bool)
+        out_data = np.where(cond, a.data, b.data)
+
+        def backward(g):
+            return ((a, _unbroadcast(g * cond, a.shape)),
+                    (b, _unbroadcast(g * ~cond, b.shape)))
+
+        return Tensor._make(out_data, (a, b), backward)

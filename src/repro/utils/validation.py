@@ -1,0 +1,51 @@
+"""Argument validation helpers shared across the library.
+
+Consistent error messages for the public API: shape checks for encoded
+matrices, probability/ratio checks for hyperparameters, and label checks
+for binary classification inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["check_2d", "check_binary_labels", "check_probability", "check_positive"]
+
+
+def check_2d(array, name="array"):
+    """Return ``array`` as a float 2-D ndarray or raise ``ValueError``."""
+    array = np.asarray(array, dtype=np.float64)
+    if array.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got shape {array.shape}")
+    if array.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if not np.isfinite(array).all():
+        raise ValueError(f"{name} contains NaN or infinite values")
+    return array
+
+
+def check_binary_labels(labels, name="labels"):
+    """Return ``labels`` as an int array of 0/1 or raise ``ValueError``."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {labels.shape}")
+    unique = np.unique(labels)
+    if not np.isin(unique, (0, 1)).all():
+        raise ValueError(f"{name} must contain only 0/1, got values {unique[:10]}")
+    return labels.astype(int)
+
+
+def check_probability(value, name="probability"):
+    """Validate a scalar in [0, 1]."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_positive(value, name="value"):
+    """Validate a strictly positive scalar."""
+    value = float(value)
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value

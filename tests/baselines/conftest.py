@@ -1,0 +1,20 @@
+"""Shared fixtures: one trained classifier + dataset for all baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset
+from repro.models import BlackBoxClassifier, train_classifier
+
+
+@pytest.fixture(scope="session")
+def adult_setup():
+    """Small Adult bundle with a trained black-box (session-cached)."""
+    bundle = load_dataset("adult", n_instances=2000, seed=0)
+    x_train, y_train = bundle.split("train")
+    blackbox = BlackBoxClassifier(bundle.encoder.n_encoded, np.random.default_rng(0))
+    train_classifier(blackbox, x_train, y_train, epochs=20,
+                     rng=np.random.default_rng(0))
+    x_test, _ = bundle.split("test")
+    negatives = x_test[blackbox.predict(x_test) == 0][:25]
+    return bundle, blackbox, x_train, y_train, negatives

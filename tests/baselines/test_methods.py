@@ -1,0 +1,180 @@
+"""Method-specific behaviour tests for each baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CCHVAEExplainer,
+    CEMExplainer,
+    DiceRandomExplainer,
+    FACEExplainer,
+    MahajanExplainer,
+    ReviseExplainer,
+)
+from repro.core import fast_config
+
+
+class TestMahajan:
+    def test_sparsity_weights_zeroed(self, adult_setup):
+        bundle, blackbox, _, _, _ = adult_setup
+        explainer = MahajanExplainer(bundle.encoder, blackbox,
+                                     config=fast_config(epochs=2))
+        assert explainer.config.sparsity_l1_weight == 0.0
+        assert explainer.config.sparsity_l0_weight == 0.0
+
+    def test_constraint_kind_in_name(self, adult_setup):
+        bundle, blackbox, _, _, _ = adult_setup
+        unary = MahajanExplainer(bundle.encoder, blackbox, constraint_kind="unary")
+        binary = MahajanExplainer(bundle.encoder, blackbox, constraint_kind="binary")
+        assert unary.name == "mahajan_unary"
+        assert binary.name == "mahajan_binary"
+
+    def test_objective_differs_from_ours_as_published(self, adult_setup):
+        # the ablation the paper highlights: Mahajan et al. train without
+        # the sparsity term and with the ELBO-style squared proximity; the
+        # Table IV ordering itself is checked by the experiment harness.
+        bundle, blackbox, _, _, _ = adult_setup
+        mahajan = MahajanExplainer(bundle.encoder, blackbox,
+                                   config=fast_config(epochs=2))
+        assert mahajan.config.proximity_metric == "l2"
+        assert mahajan.config.sparsity_l1_weight == 0.0
+        assert mahajan.config.sparsity_l0_weight == 0.0
+        from repro.core import CFTrainingConfig
+        ours = CFTrainingConfig()
+        assert ours.proximity_metric == "l1"
+        assert ours.sparsity_l1_weight > 0
+        assert ours.sparsity_l0_weight > 0
+
+
+class TestRevise:
+    def test_latent_moves_toward_validity(self, adult_setup):
+        bundle, blackbox, x_train, y_train, negatives = adult_setup
+        explainer = ReviseExplainer(bundle.encoder, blackbox, seed=0,
+                                    vae_epochs=30, steps=150)
+        explainer.fit(x_train, y_train)
+        cf = explainer.generate(negatives)
+        # gradient search should flip more than the raw reconstruction does
+        zeros = np.zeros(len(negatives))
+        reconstruction = explainer.vae.reconstruct(negatives, zeros)
+        validity_cf = (blackbox.predict(cf) == 1).mean()
+        validity_rec = (blackbox.predict(reconstruction) == 1).mean()
+        assert validity_cf >= validity_rec
+
+    def test_uses_unconditional_vae(self, adult_setup):
+        bundle, blackbox, x_train, y_train, _ = adult_setup
+        explainer = ReviseExplainer(bundle.encoder, blackbox, vae_epochs=2)
+        explainer.fit(x_train, y_train)
+        # decoding the same z with different labels must be identical only
+        # if the VAE ignored the conditioning during training; we simply
+        # check the label column was pinned to zero in fit (no crash) and
+        # the vae exists.
+        assert explainer.vae is not None
+
+
+class TestCCHVAE:
+    def test_respects_radius_budget(self, adult_setup):
+        bundle, blackbox, x_train, y_train, negatives = adult_setup
+        explainer = CCHVAEExplainer(bundle.encoder, blackbox, seed=0,
+                                    vae_epochs=10, max_radius=0.2,
+                                    n_candidates=5)
+        explainer.fit(x_train, y_train)
+        cf = explainer.generate(negatives[:5])
+        assert cf.shape == (5, bundle.encoder.n_encoded)
+
+    def test_annulus_sampling_radii(self, adult_setup):
+        bundle, blackbox, _, _, _ = adult_setup
+        explainer = CCHVAEExplainer(bundle.encoder, blackbox, seed=0,
+                                    n_candidates=200)
+        center = np.zeros(10)
+        samples = explainer._sample_annulus(center, 0.5, 1.0)
+        norms = np.linalg.norm(samples, axis=1)
+        assert (norms >= 0.5 - 1e-9).all() and (norms <= 1.0 + 1e-9).all()
+
+
+class TestCEM:
+    def test_sparser_than_dense_methods(self, adult_setup):
+        bundle, blackbox, x_train, y_train, negatives = adult_setup
+        cem = CEMExplainer(bundle.encoder, blackbox, seed=0)
+        cem.fit(x_train, y_train)
+        mahajan = MahajanExplainer(bundle.encoder, blackbox, seed=0,
+                                   config=fast_config(epochs=8))
+        mahajan.fit(x_train, y_train)
+        changed_cem = (np.abs(cem.generate(negatives) - negatives) > 0.01).sum(axis=1).mean()
+        changed_mahajan = (np.abs(mahajan.generate(negatives) - negatives) > 0.01).sum(axis=1).mean()
+        # CEM's elastic net should win sparsity by a wide margin (Table IV)
+        assert changed_cem < changed_mahajan
+
+    def test_candidates_stay_in_unit_box(self, adult_setup):
+        bundle, blackbox, x_train, y_train, negatives = adult_setup
+        cem = CEMExplainer(bundle.encoder, blackbox, seed=0, steps=40)
+        cem.fit(x_train, y_train)
+        cf = cem.generate(negatives)
+        assert cf.min() >= -1e-9 and cf.max() <= 1.0 + 1e-9
+
+    def test_zero_steps_returns_input(self, adult_setup):
+        bundle, blackbox, x_train, y_train, negatives = adult_setup
+        cem = CEMExplainer(bundle.encoder, blackbox, seed=0, steps=0)
+        cem.fit(x_train, y_train)
+        np.testing.assert_allclose(cem.generate(negatives), negatives)
+
+
+class TestDiceRandom:
+    def test_only_mutable_features_touched(self, adult_setup):
+        bundle, blackbox, x_train, y_train, negatives = adult_setup
+        explainer = DiceRandomExplainer(bundle.encoder, blackbox, seed=0)
+        explainer.fit(x_train, y_train)
+        cf = explainer.generate(negatives)
+        mask = bundle.encoder.immutable_mask()
+        np.testing.assert_allclose(cf[:, mask], negatives[:, mask])
+
+    def test_sparsification_reduces_changes(self, adult_setup):
+        bundle, blackbox, x_train, y_train, negatives = adult_setup
+        explainer = DiceRandomExplainer(bundle.encoder, blackbox, seed=0)
+        explainer.fit(x_train, y_train)
+        row = negatives[0]
+        candidate = explainer._perturb(row)
+        sparsified = explainer._sparsify(row, candidate.copy(), 1)
+        changed_before = (np.abs(candidate - row) > 1e-9).sum()
+        changed_after = (np.abs(sparsified - row) > 1e-9).sum()
+        assert changed_after <= changed_before
+
+    def test_onehot_blocks_remain_valid(self, adult_setup):
+        bundle, blackbox, x_train, y_train, negatives = adult_setup
+        explainer = DiceRandomExplainer(bundle.encoder, blackbox, seed=0)
+        explainer.fit(x_train, y_train)
+        cf = explainer.generate(negatives)
+        for spec in bundle.schema.categorical:
+            block = cf[:, bundle.encoder.feature_slices[spec.name]]
+            np.testing.assert_allclose(block.sum(axis=1), np.ones(len(cf)))
+
+
+class TestFACE:
+    def test_returns_training_points(self, adult_setup):
+        bundle, blackbox, x_train, y_train, negatives = adult_setup
+        explainer = FACEExplainer(bundle.encoder, blackbox, seed=0,
+                                  max_vertices=400)
+        explainer.fit(x_train, y_train)
+        cf = explainer.generate(negatives)
+        # every CF must be one of the graph vertices (before projection);
+        # check mutable columns match some vertex
+        mutable = ~bundle.encoder.immutable_mask()
+        for row in cf:
+            distances = np.abs(explainer._vertices[:, mutable]
+                               - row[mutable]).sum(axis=1)
+            assert distances.min() < 1e-8
+
+    def test_subsampling_bounds_graph(self, adult_setup):
+        bundle, blackbox, x_train, y_train, _ = adult_setup
+        explainer = FACEExplainer(bundle.encoder, blackbox, seed=0,
+                                  max_vertices=100)
+        explainer.fit(x_train, y_train)
+        assert len(explainer._vertices) == 100
+
+    def test_high_confidence_targets_flip_classifier(self, adult_setup):
+        bundle, blackbox, x_train, y_train, negatives = adult_setup
+        explainer = FACEExplainer(bundle.encoder, blackbox, seed=0,
+                                  confidence=0.7, max_vertices=600)
+        explainer.fit(x_train, y_train)
+        cf = explainer.generate(negatives)
+        validity = (blackbox.predict(cf) == 1).mean()
+        assert validity > 0.5

@@ -1,0 +1,142 @@
+"""Tests for automatic constraint discovery (the paper's future work)."""
+
+import numpy as np
+import pytest
+
+from repro.constraints import ConstraintMiner, ConstraintSet, OrdinalImplicationConstraint
+from repro.data import (
+    DatasetSchema,
+    FeatureSpec,
+    FeatureType,
+    TabularEncoder,
+    TabularFrame,
+    load_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def adult_bundle():
+    return load_dataset("adult", n_instances=8000, seed=0)
+
+
+@pytest.fixture(scope="module")
+def law_bundle():
+    return load_dataset("law_school", n_instances=8000, seed=0)
+
+
+class TestMiningOnBenchmarks:
+    def test_rediscovers_education_age_on_adult(self, adult_bundle):
+        miner = ConstraintMiner(adult_bundle.encoder)
+        relations = miner.mine(adult_bundle.frame)
+        pairs = {(r.cause, r.effect) for r in relations}
+        assert ("education", "age") in pairs
+
+    def test_rediscovers_tier_lsat_on_law(self, law_bundle):
+        miner = ConstraintMiner(law_bundle.encoder)
+        relations = miner.mine(law_bundle.frame)
+        assert relations, "no relations mined"
+        # the paper's hand-made binary constraint is the top discovery
+        assert (relations[0].cause, relations[0].effect) == ("tier", "lsat")
+
+    def test_max_relations_caps_output(self, adult_bundle):
+        miner = ConstraintMiner(adult_bundle.encoder)
+        assert len(miner.mine(adult_bundle.frame, max_relations=2)) <= 2
+
+    def test_sorted_by_score(self, law_bundle):
+        relations = ConstraintMiner(law_bundle.encoder).mine(law_bundle.frame)
+        scores = [r.score for r in relations]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_immutables_excluded(self, adult_bundle):
+        relations = ConstraintMiner(adult_bundle.encoder).mine(adult_bundle.frame)
+        for relation in relations:
+            assert relation.cause not in ("race", "gender")
+            assert relation.effect not in ("race", "gender")
+
+    def test_describe_is_readable(self, law_bundle):
+        relation = ConstraintMiner(law_bundle.encoder).mine(law_bundle.frame)[0]
+        text = relation.describe()
+        assert "tier" in text and "lsat" in text and "rho=" in text
+
+
+class TestMiningMechanics:
+    def build_encoder(self, frame, features):
+        schema = DatasetSchema(name="toy", features=features, target="y")
+        return TabularEncoder(schema).fit(frame)
+
+    def test_independent_features_yield_nothing(self):
+        rng = np.random.default_rng(0)
+        n = 2000
+        frame = TabularFrame({
+            "a": rng.uniform(0, 1, n),
+            "b": rng.uniform(0, 1, n),
+        })
+        features = (
+            FeatureSpec("a", FeatureType.CONTINUOUS, bounds=(0.0, 1.0)),
+            FeatureSpec("b", FeatureType.CONTINUOUS, bounds=(0.0, 1.0)),
+        )
+        miner = ConstraintMiner(self.build_encoder(frame, features))
+        assert miner.mine(frame) == []
+
+    def test_constructed_prerequisite_found(self):
+        # effect has a hard floor rising with the cause level
+        rng = np.random.default_rng(1)
+        n = 3000
+        level = rng.integers(0, 4, n)
+        floor = 10.0 + 5.0 * level
+        effect = floor + rng.exponential(8.0, n)
+        labels = np.array(["l0", "l1", "l2", "l3"], dtype=object)[level]
+        frame = TabularFrame({"cause": labels, "effect": effect})
+        features = (
+            FeatureSpec("cause", FeatureType.CATEGORICAL,
+                        categories=("l0", "l1", "l2", "l3")),
+            FeatureSpec("effect", FeatureType.CONTINUOUS, bounds=(0.0, 200.0)),
+        )
+        miner = ConstraintMiner(self.build_encoder(frame, features))
+        relations = miner.mine(frame)
+        assert [(r.cause, r.effect) for r in relations] == [("cause", "effect")]
+        assert relations[0].floor_monotonicity == 1.0
+        assert relations[0].suggested_slope > 0
+
+    def test_binary_causes_skipped(self):
+        rng = np.random.default_rng(2)
+        n = 1000
+        flag = rng.integers(0, 2, n).astype(float)
+        frame = TabularFrame({"flag": flag, "value": flag * 10 + rng.normal(0, 1, n)})
+        features = (
+            FeatureSpec("flag", FeatureType.BINARY),
+            FeatureSpec("value", FeatureType.CONTINUOUS, bounds=(-10.0, 30.0)),
+        )
+        miner = ConstraintMiner(self.build_encoder(frame, features))
+        assert miner.mine(frame) == []
+
+
+class TestToConstraints:
+    def test_relations_become_executable_constraints(self, law_bundle):
+        miner = ConstraintMiner(law_bundle.encoder)
+        relations = miner.mine(law_bundle.frame, max_relations=2)
+        constraint_set = miner.to_constraints(relations)
+        assert isinstance(constraint_set, ConstraintSet)
+        assert len(constraint_set) == 2
+        assert all(isinstance(c, OrdinalImplicationConstraint)
+                   for c in constraint_set)
+
+    def test_mined_constraints_accept_identity(self, law_bundle):
+        miner = ConstraintMiner(law_bundle.encoder)
+        constraint_set = miner.to_constraints(
+            miner.mine(law_bundle.frame, max_relations=3))
+        x = law_bundle.encoded[:30]
+        assert constraint_set.satisfaction_rate(x, x.copy()) == 1.0
+
+    def test_mined_constraint_rejects_violation(self, law_bundle):
+        miner = ConstraintMiner(law_bundle.encoder)
+        relations = [r for r in miner.mine(law_bundle.frame)
+                     if (r.cause, r.effect) == ("tier", "lsat")]
+        constraint_set = miner.to_constraints(relations)
+        x = law_bundle.encoded[:10].copy()
+        x_cf = x.copy()
+        tier_col = law_bundle.encoder.column_of("tier")
+        x_cf[:, tier_col] = np.minimum(x_cf[:, tier_col] + 0.4, 1.0)  # tier up
+        # lsat unchanged -> implication violated
+        satisfied = constraint_set.satisfied(x, x_cf)
+        assert not satisfied.all()

@@ -1,0 +1,102 @@
+"""Tests for the four-part counterfactual loss."""
+
+import numpy as np
+import pytest
+
+from repro.constraints import ConstraintSet, MonotonicIncreaseConstraint
+from repro.core import CFTrainingConfig, FourPartLoss, sparsity_penalty
+from repro.data import load_dataset
+from repro.models import BlackBoxClassifier, train_classifier
+from repro.nn import Tensor
+
+
+class TestSparsityPenalty:
+    def test_zero_delta_zero_penalty(self):
+        out = sparsity_penalty(Tensor(np.zeros((3, 4))), 1.0, 1.0, 0.05)
+        assert out.item() == 0.0
+
+    def test_grows_with_changes(self):
+        small = sparsity_penalty(Tensor(np.full((2, 4), 0.01)), 1.0, 1.0, 0.05).item()
+        large = sparsity_penalty(Tensor(np.full((2, 4), 0.5)), 1.0, 1.0, 0.05).item()
+        assert large > small
+
+    def test_l0_counts_features_not_magnitude(self):
+        # one large change vs many small ones with same L1 mass
+        one_big = np.zeros((1, 10))
+        one_big[0, 0] = 1.0
+        spread = np.full((1, 10), 0.1)
+        l0_big = sparsity_penalty(Tensor(one_big), 0.0, 1.0, 0.01).item()
+        l0_spread = sparsity_penalty(Tensor(spread), 0.0, 1.0, 0.01).item()
+        assert l0_spread > l0_big  # more features changed => larger smooth-L0
+
+    def test_weights_disable_terms(self):
+        delta = Tensor(np.full((2, 3), 0.2))
+        assert sparsity_penalty(delta, 0.0, 0.0, 0.05).item() == 0.0
+
+    def test_differentiable(self):
+        delta = Tensor(np.full((2, 3), 0.2), requires_grad=True)
+        sparsity_penalty(delta, 1.0, 1.0, 0.05).backward()
+        assert delta.grad is not None
+
+
+def fitted_pieces(n=300):
+    bundle = load_dataset("adult", n_instances=n, seed=0)
+    x, y = bundle.split("train")
+    blackbox = BlackBoxClassifier(bundle.encoder.n_encoded, np.random.default_rng(0))
+    train_classifier(blackbox, x, y, epochs=5, rng=np.random.default_rng(0))
+    constraints = ConstraintSet(
+        [MonotonicIncreaseConstraint(bundle.encoder, "age")])
+    return bundle, x, blackbox, constraints
+
+
+class TestFourPartLoss:
+    def test_parts_reported(self):
+        _, x, blackbox, constraints = fitted_pieces()
+        loss_fn = FourPartLoss(blackbox, constraints, CFTrainingConfig())
+        desired = 1 - blackbox.predict(x)
+        total, parts = loss_fn(x, Tensor(x.copy()), desired)
+        assert set(parts) >= {"validity", "proximity", "feasibility", "sparsity", "total"}
+        assert total.item() == pytest.approx(parts["total"])
+
+    def test_identity_cf_has_zero_proximity_and_sparsity(self):
+        _, x, blackbox, constraints = fitted_pieces()
+        loss_fn = FourPartLoss(blackbox, constraints, CFTrainingConfig())
+        desired = 1 - blackbox.predict(x)
+        _, parts = loss_fn(x, Tensor(x.copy()), desired)
+        assert parts["proximity"] == 0.0
+        assert parts["sparsity"] == 0.0
+        assert parts["feasibility"] == 0.0
+        assert parts["validity"] > 0.0  # same input cannot satisfy flipped class
+
+    def test_kl_included_when_stats_given(self):
+        _, x, blackbox, constraints = fitted_pieces()
+        loss_fn = FourPartLoss(blackbox, constraints, CFTrainingConfig(kl_weight=0.1))
+        desired = 1 - blackbox.predict(x)
+        mu = Tensor(np.random.default_rng(0).random((len(x), 4)))
+        log_var = Tensor(np.zeros((len(x), 4)))
+        _, parts = loss_fn(x, Tensor(x.copy()), desired, mu, log_var)
+        assert "kl" in parts and parts["kl"] > 0
+
+    def test_blackbox_frozen(self):
+        _, x, blackbox, constraints = fitted_pieces()
+        FourPartLoss(blackbox, constraints, CFTrainingConfig())
+        assert all(not p.requires_grad for p in blackbox.parameters())
+
+    def test_gradients_flow_to_cf(self):
+        _, x, blackbox, constraints = fitted_pieces()
+        loss_fn = FourPartLoss(blackbox, constraints, CFTrainingConfig())
+        desired = 1 - blackbox.predict(x)
+        x_cf = Tensor(x.copy() + 0.01, requires_grad=True)
+        total, _ = loss_fn(x, x_cf, desired)
+        total.backward()
+        assert x_cf.grad is not None
+        assert np.abs(x_cf.grad).sum() > 0
+
+    def test_violating_cf_pays_feasibility(self):
+        bundle, x, blackbox, constraints = fitted_pieces()
+        loss_fn = FourPartLoss(blackbox, constraints, CFTrainingConfig())
+        desired = 1 - blackbox.predict(x)
+        x_cf = x.copy()
+        x_cf[:, bundle.encoder.column_of("age")] -= 0.2  # get younger
+        _, parts = loss_fn(x, Tensor(x_cf), desired)
+        assert parts["feasibility"] > 0

@@ -1,0 +1,69 @@
+"""Unit tests for the CFBatchResult container."""
+
+import numpy as np
+import pytest
+
+from repro.core import CFBatchResult
+from repro.data import load_dataset
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return load_dataset("adult", n_instances=800, seed=0)
+
+
+def make_result(bundle, n=6):
+    x = bundle.encoded[:n]
+    x_cf = np.clip(x + 0.05, 0.0, 1.0)
+    desired = np.ones(n, dtype=int)
+    predicted = np.array([1, 1, 0, 1, 0, 1])[:n]
+    return CFBatchResult(
+        x=x, x_cf=x_cf, desired=desired, predicted=predicted,
+        valid=predicted == desired,
+        feasible=np.array([True, False, True, True, True, False])[:n],
+        encoder=bundle.encoder)
+
+
+class TestRates:
+    def test_len(self, bundle):
+        assert len(make_result(bundle)) == 6
+
+    def test_validity_rate(self, bundle):
+        assert make_result(bundle).validity_rate == pytest.approx(4 / 6)
+
+    def test_feasibility_rate(self, bundle):
+        assert make_result(bundle).feasibility_rate == pytest.approx(4 / 6)
+
+    def test_empty_rates_are_zero(self, bundle):
+        empty = CFBatchResult(
+            x=np.zeros((0, bundle.encoder.n_encoded)),
+            x_cf=np.zeros((0, bundle.encoder.n_encoded)),
+            desired=np.zeros(0, dtype=int), predicted=np.zeros(0, dtype=int),
+            valid=np.zeros(0, dtype=bool), feasible=np.zeros(0, dtype=bool),
+            encoder=bundle.encoder)
+        assert empty.validity_rate == 0.0
+        assert empty.feasibility_rate == 0.0
+
+
+class TestDecoding:
+    def test_decoded_counts(self, bundle):
+        result = make_result(bundle)
+        assert result.decoded().n_rows == 6
+        assert result.decoded_inputs().n_rows == 6
+
+    def test_decoded_inputs_roundtrip_raw_values(self, bundle):
+        result = make_result(bundle)
+        original = bundle.frame.take(np.arange(6))
+        decoded = result.decoded_inputs()
+        np.testing.assert_allclose(decoded["age"], original["age"], atol=1e-9)
+
+    def test_comparison_contains_both_columns(self, bundle):
+        text = make_result(bundle).comparison(0)
+        lines = text.splitlines()
+        assert "x true" in lines[0] and "x pred" in lines[0]
+        assert len(lines) == 1 + bundle.schema.n_features
+
+    def test_comparison_formats_categoricals_as_text(self, bundle):
+        text = make_result(bundle).comparison(0)
+        assert any(category in text for category in
+                   bundle.schema.feature("education").categories)

@@ -1,0 +1,166 @@
+"""Tests for the synthetic SCM dataset generators.
+
+These verify the properties the paper's method depends on: schema
+conformance, determinism, the embedded causal relations (education vs
+age, tier vs LSAT) and Table I cleaning ratios.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ADULT_SCHEMA,
+    EDUCATION_LEVELS,
+    EDUCATION_MIN_AGE,
+    KDD_SCHEMA,
+    LAW_SCHEMA,
+    clean,
+    generate_adult,
+    generate_kdd_census,
+    generate_law_school,
+)
+
+N = 4000
+
+
+class TestAdult:
+    def test_schema_columns_present(self):
+        frame, labels = generate_adult(N, seed=1)
+        assert set(ADULT_SCHEMA.feature_names) <= set(frame.column_names)
+        assert len(labels) == frame.n_rows == N
+
+    def test_deterministic_in_seed(self):
+        frame_a, labels_a = generate_adult(500, seed=7)
+        frame_b, labels_b = generate_adult(500, seed=7)
+        np.testing.assert_array_equal(labels_a, labels_b)
+        np.testing.assert_allclose(frame_a["age"], frame_b["age"])
+
+    def test_different_seeds_differ(self):
+        _, labels_a = generate_adult(500, seed=1)
+        _, labels_b = generate_adult(500, seed=2)
+        assert not np.array_equal(labels_a, labels_b)
+
+    def test_education_respects_min_age(self):
+        frame, _ = generate_adult(N, seed=3)
+        frame, _ = clean(frame, np.zeros(N))
+        ages = frame["age"]
+        for row, level in enumerate(frame["education"]):
+            assert ages[row] >= EDUCATION_MIN_AGE[level] - 1e-9
+
+    def test_education_age_correlation_positive(self):
+        frame, _ = generate_adult(N, seed=4)
+        frame, _ = clean(frame, np.zeros(N))
+        ranks = np.array([EDUCATION_LEVELS.index(e) for e in frame["education"]])
+        corr = np.corrcoef(frame["age"], ranks)[0, 1]
+        assert corr > 0.05
+
+    def test_income_depends_on_education(self):
+        frame, labels = generate_adult(N, seed=5)
+        frame, labels = clean(frame, labels)
+        ranks = np.array([EDUCATION_LEVELS.index(e) for e in frame["education"]])
+        high = labels[ranks >= 4].mean()
+        low = labels[ranks <= 1].mean()
+        assert high > low + 0.1
+
+    def test_cleaning_ratio_matches_table1(self):
+        frame, labels = generate_adult(12000, seed=6)
+        cleaned, _ = clean(frame, labels)
+        ratio = cleaned.n_rows / 12000
+        assert abs(ratio - 32561 / 48842) < 0.02
+
+    def test_bounds_respected(self):
+        frame, _ = generate_adult(N, seed=7)
+        age = frame["age"]
+        assert np.nanmin(age) >= 17.0 and np.nanmax(age) <= 90.0
+        hours = frame["hours_per_week"]
+        assert np.nanmin(hours) >= 1.0 and np.nanmax(hours) <= 99.0
+
+    def test_positive_rate_reasonable(self):
+        _, labels = generate_adult(N, seed=8)
+        assert 0.15 < labels.mean() < 0.55
+
+
+class TestKDDCensus:
+    def test_schema_columns_present(self):
+        frame, labels = generate_kdd_census(N, seed=1)
+        assert set(KDD_SCHEMA.feature_names) <= set(frame.column_names)
+        assert frame.n_columns == 41
+
+    def test_cleaning_ratio_matches_table1(self):
+        frame, labels = generate_kdd_census(12000, seed=2)
+        cleaned, _ = clean(frame, labels)
+        assert abs(cleaned.n_rows / 12000 - 199522 / 299285) < 0.02
+
+    def test_education_age_relation(self):
+        frame, _ = generate_kdd_census(N, seed=3)
+        frame, _ = clean(frame, np.zeros(N))
+        from repro.data import KDD_EDUCATION_LEVELS
+        ranks = np.array([KDD_EDUCATION_LEVELS.index(e) for e in frame["education"]])
+        doctorates = frame["age"][ranks == len(KDD_EDUCATION_LEVELS) - 1]
+        if len(doctorates):
+            assert doctorates.min() >= 27.0
+
+    def test_categories_all_valid(self):
+        frame, _ = generate_kdd_census(1000, seed=4)
+        frame, _ = clean(frame, np.zeros(1000))
+        for spec in KDD_SCHEMA.categorical:
+            values = set(frame[spec.name])
+            assert values <= set(spec.categories)
+
+    def test_positive_rate_low_like_census(self):
+        _, labels = generate_kdd_census(N, seed=5)
+        assert 0.03 < labels.mean() < 0.30
+
+    def test_deterministic(self):
+        _, a = generate_kdd_census(400, seed=9)
+        _, b = generate_kdd_census(400, seed=9)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestLawSchool:
+    def test_schema_columns_present(self):
+        frame, labels = generate_law_school(N, seed=1)
+        assert set(LAW_SCHEMA.feature_names) <= set(frame.column_names)
+        assert frame.n_columns == 10
+
+    def test_cleaning_ratio_matches_table1(self):
+        frame, labels = generate_law_school(12000, seed=2)
+        cleaned, _ = clean(frame, labels)
+        assert abs(cleaned.n_rows / 12000 - 20512 / 20798) < 0.02
+
+    def test_tier_lsat_correlation_positive(self):
+        frame, _ = generate_law_school(N, seed=3)
+        frame, _ = clean(frame, np.zeros(N))
+        corr = np.corrcoef(frame["tier"], frame["lsat"])[0, 1]
+        assert corr > 0.3
+
+    def test_pass_rate_majority(self):
+        _, labels = generate_law_school(N, seed=4)
+        assert 0.4 < labels.mean() < 0.9
+
+    def test_lsat_drives_passing(self):
+        frame, labels = generate_law_school(N, seed=5)
+        frame, labels = clean(frame, labels)
+        lsat = frame["lsat"]
+        assert labels[lsat > np.quantile(lsat, 0.8)].mean() > \
+            labels[lsat < np.quantile(lsat, 0.2)].mean() + 0.2
+
+    def test_bounds(self):
+        frame, _ = generate_law_school(N, seed=6)
+        assert np.nanmin(frame["lsat"]) >= 120.0
+        assert np.nanmax(frame["lsat"]) <= 180.0
+        assert np.nanmin(frame["tier"]) >= 1.0
+        assert np.nanmax(frame["tier"]) <= 6.0
+
+
+class TestCleanHelper:
+    def test_clean_filters_labels_together(self):
+        frame, labels = generate_adult(2000, seed=10)
+        cleaned, kept = clean(frame, labels)
+        assert cleaned.n_rows == len(kept)
+        assert not cleaned.missing_mask().any()
+
+    def test_clean_rejects_misaligned_labels(self):
+        frame, labels = generate_adult(100, seed=11)
+        with pytest.raises(ValueError):
+            clean(frame, labels[:50])

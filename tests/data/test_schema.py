@@ -1,0 +1,110 @@
+"""Unit tests for FeatureSpec / DatasetSchema validation and lookups."""
+
+import pytest
+
+from repro.data import DatasetSchema, FeatureSpec, FeatureType
+
+
+def spec_cont(name="x", immutable=False):
+    return FeatureSpec(name, FeatureType.CONTINUOUS, bounds=(0.0, 1.0), immutable=immutable)
+
+
+def spec_cat(name="c", categories=("a", "b"), immutable=False):
+    return FeatureSpec(name, FeatureType.CATEGORICAL, categories=categories, immutable=immutable)
+
+
+class TestFeatureSpec:
+    def test_categorical_needs_categories(self):
+        with pytest.raises(ValueError):
+            FeatureSpec("c", FeatureType.CATEGORICAL)
+
+    def test_continuous_needs_bounds(self):
+        with pytest.raises(ValueError):
+            FeatureSpec("x", FeatureType.CONTINUOUS)
+
+    def test_continuous_rejects_empty_bounds(self):
+        with pytest.raises(ValueError):
+            FeatureSpec("x", FeatureType.CONTINUOUS, bounds=(1.0, 1.0))
+
+    def test_binary_needs_nothing(self):
+        spec = FeatureSpec("b", FeatureType.BINARY)
+        assert spec.n_categories == 0
+
+    def test_category_rank(self):
+        spec = spec_cat(categories=("low", "mid", "high"))
+        assert spec.category_rank("mid") == 1
+
+    def test_category_rank_unknown(self):
+        with pytest.raises(KeyError):
+            spec_cat().category_rank("zzz")
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            spec_cont().name = "other"
+
+
+class TestDatasetSchema:
+    def build(self):
+        return DatasetSchema(
+            name="toy",
+            features=(
+                spec_cont("age"),
+                FeatureSpec("gender", FeatureType.BINARY, immutable=True),
+                spec_cat("education", ("hs", "bs", "ms")),
+            ),
+            target="outcome",
+        )
+
+    def test_duplicate_feature_names_rejected(self):
+        with pytest.raises(ValueError):
+            DatasetSchema("bad", (spec_cont("x"), spec_cont("x")), target="y")
+
+    def test_target_clash_rejected(self):
+        with pytest.raises(ValueError):
+            DatasetSchema("bad", (spec_cont("y"),), target="y")
+
+    def test_feature_lookup(self):
+        schema = self.build()
+        assert schema.feature("age").ftype is FeatureType.CONTINUOUS
+        with pytest.raises(KeyError):
+            schema.feature("nope")
+
+    def test_type_partitions(self):
+        schema = self.build()
+        assert [s.name for s in schema.continuous] == ["age"]
+        assert [s.name for s in schema.binary] == ["gender"]
+        assert [s.name for s in schema.categorical] == ["education"]
+
+    def test_type_counts_order_matches_table1(self):
+        # Table I reports categorical / binary / numerical
+        assert self.build().type_counts() == (1, 1, 1)
+
+    def test_immutable_names(self):
+        assert self.build().immutable_names == ("gender",)
+
+    def test_feature_names_order(self):
+        assert self.build().feature_names == ("age", "gender", "education")
+
+    def test_n_features(self):
+        assert self.build().n_features == 3
+
+
+class TestPaperSchemas:
+    def test_adult_matches_table1(self):
+        from repro.data import ADULT_SCHEMA
+        assert ADULT_SCHEMA.type_counts() == (5, 2, 2)
+        assert set(ADULT_SCHEMA.immutable_names) == {"race", "gender"}
+        assert ADULT_SCHEMA.target == "income"
+
+    def test_kdd_matches_table1(self):
+        from repro.data import KDD_SCHEMA
+        assert KDD_SCHEMA.type_counts() == (32, 2, 7)
+        assert KDD_SCHEMA.n_features == 41
+        assert set(KDD_SCHEMA.immutable_names) == {"race", "gender"}
+
+    def test_law_matches_table1(self):
+        from repro.data import LAW_SCHEMA
+        assert LAW_SCHEMA.type_counts() == (1, 3, 6)
+        assert LAW_SCHEMA.n_features == 10
+        assert LAW_SCHEMA.immutable_names == ("sex",)
+        assert LAW_SCHEMA.target == "pass_bar"

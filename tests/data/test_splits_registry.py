@@ -1,0 +1,87 @@
+"""Tests for the 80/10/10 splitter and the dataset registry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import dataset_names, load_dataset, train_val_test_split
+
+
+class TestSplit:
+    def rng(self):
+        return np.random.default_rng(0)
+
+    def test_partitions_indices(self):
+        train, val, test = train_val_test_split(100, self.rng())
+        combined = np.sort(np.concatenate([train, val, test]))
+        np.testing.assert_array_equal(combined, np.arange(100))
+
+    def test_default_fractions(self):
+        train, val, test = train_val_test_split(1000, self.rng())
+        assert len(train) == 800
+        assert len(val) == 100
+        assert len(test) == 100
+
+    def test_rejects_bad_fraction_sum(self):
+        with pytest.raises(ValueError):
+            train_val_test_split(10, self.rng(), fractions=(0.5, 0.2, 0.2))
+
+    def test_rejects_nonpositive_rows(self):
+        with pytest.raises(ValueError):
+            train_val_test_split(0, self.rng())
+
+    def test_rejects_wrong_fraction_count(self):
+        with pytest.raises(ValueError):
+            train_val_test_split(10, self.rng(), fractions=(0.5, 0.5))
+
+    def test_tiny_inputs_keep_all_splits_nonempty(self):
+        train, val, test = train_val_test_split(4, self.rng())
+        assert len(train) >= 1 and len(val) >= 1 and len(test) >= 1
+
+    def test_deterministic_given_rng_seed(self):
+        a = train_val_test_split(50, np.random.default_rng(3))
+        b = train_val_test_split(50, np.random.default_rng(3))
+        for left, right in zip(a, b):
+            np.testing.assert_array_equal(left, right)
+
+    @given(st.integers(min_value=4, max_value=500))
+    @settings(max_examples=30, deadline=None)
+    def test_property_partition(self, n):
+        train, val, test = train_val_test_split(n, np.random.default_rng(1))
+        combined = np.sort(np.concatenate([train, val, test]))
+        np.testing.assert_array_equal(combined, np.arange(n))
+
+
+class TestRegistry:
+    def test_dataset_names(self):
+        assert set(dataset_names()) == {"adult", "kdd_census", "law_school"}
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("mnist")
+
+    @pytest.mark.parametrize("name", ["adult", "kdd_census", "law_school"])
+    def test_bundle_consistency(self, name):
+        bundle = load_dataset(name, n_instances=1500, seed=0)
+        assert bundle.name == name
+        assert bundle.n_raw == 1500
+        assert bundle.n_clean == bundle.encoded.shape[0] == len(bundle.labels)
+        assert bundle.encoded.shape[1] == bundle.encoder.n_encoded
+        # split partitions rows
+        combined = np.sort(np.concatenate(
+            [bundle.train_idx, bundle.val_idx, bundle.test_idx]))
+        np.testing.assert_array_equal(combined, np.arange(bundle.n_clean))
+
+    def test_split_accessor(self):
+        bundle = load_dataset("adult", n_instances=1000, seed=0)
+        x_train, y_train = bundle.split("train")
+        assert len(x_train) == len(y_train) == len(bundle.train_idx)
+        with pytest.raises(KeyError):
+            bundle.split("holdout")
+
+    def test_seeded_reproducibility(self):
+        a = load_dataset("law_school", n_instances=800, seed=5)
+        b = load_dataset("law_school", n_instances=800, seed=5)
+        np.testing.assert_allclose(a.encoded, b.encoded)
+        np.testing.assert_array_equal(a.train_idx, b.train_idx)

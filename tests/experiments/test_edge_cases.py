@@ -1,0 +1,56 @@
+"""Edge-case tests for the experiment builders."""
+
+import numpy as np
+import pytest
+
+from repro.core import CFBatchResult
+from repro.data import load_dataset
+from repro.experiments import build_figure6, build_table5, prepare_context
+from repro.manifold import TSNE
+
+
+class TestTable5EdgeCases:
+    def make_result(self, all_bad=True):
+        bundle = load_dataset("adult", n_instances=600, seed=0)
+        n = 4
+        x = bundle.encoded[:n]
+        flags = np.zeros(n, dtype=bool) if all_bad else np.ones(n, dtype=bool)
+        return CFBatchResult(
+            x=x, x_cf=x.copy(), desired=np.ones(n, dtype=int),
+            predicted=np.zeros(n, dtype=int), valid=flags, feasible=flags,
+            encoder=bundle.encoder)
+
+    def test_no_qualifying_row_returns_message(self):
+        text, index = build_table5(self.make_result(all_bad=True))
+        assert index is None
+        assert "no valid" in text
+
+    def test_qualifying_row_found(self):
+        text, index = build_table5(self.make_result(all_bad=False))
+        assert index == 0
+        assert "TABLE V" in text
+
+
+class TestFigure6WithInjectedContext:
+    def test_reuses_prepared_context(self):
+        context = prepare_context("adult", scale="smoke", seed=0)
+        figure = build_figure6("adult", n_points=60, tsne_iterations=60,
+                               context=context)
+        assert figure.dataset == "adult"
+        assert figure.views[0].embedding.shape == (60, 2)
+
+
+class TestTSNEDimensions:
+    def test_three_component_embedding(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(40, 6))
+        embedding = TSNE(n_components=3, perplexity=10,
+                         n_iter=60, seed=0).fit_transform(x)
+        assert embedding.shape == (40, 3)
+
+    def test_one_component_embedding(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(30, 4))
+        embedding = TSNE(n_components=1, perplexity=8,
+                         n_iter=60, seed=0).fit_transform(x)
+        assert embedding.shape == (30, 1)

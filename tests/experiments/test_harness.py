@@ -1,0 +1,82 @@
+"""Tests for the experiment harness (scales, context, method runs)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    SCALES,
+    TABLE4_METHOD_ORDER,
+    get_scale,
+    prepare_context,
+    run_method,
+)
+
+
+class TestScales:
+    def test_known_scales(self):
+        assert {"paper", "standard", "fast", "smoke"} <= set(SCALES)
+
+    def test_get_scale_passthrough(self):
+        scale = SCALES["smoke"]
+        assert get_scale(scale) is scale
+
+    def test_get_scale_unknown(self):
+        with pytest.raises(KeyError):
+            get_scale("galactic")
+
+    def test_paper_scale_uses_table1_sizes(self):
+        scale = get_scale("paper")
+        assert scale.instances_for("adult") == 48_842
+        assert scale.instances_for("kdd_census") == 299_285
+        assert scale.instances_for("law_school") == 20_798
+
+    def test_capped_scale(self):
+        scale = get_scale("smoke")
+        assert scale.instances_for("kdd_census") == scale.max_instances
+        assert scale.max_instances < 20_798  # smaller than every dataset
+
+
+@pytest.fixture(scope="module")
+def context():
+    return prepare_context("adult", scale="smoke", seed=0)
+
+
+class TestContext:
+    def test_explains_undesired_class_rows(self, context):
+        predictions = context.blackbox.predict(context.x_explain)
+        assert (predictions == 0).all()
+        assert (context.desired == 1).all()
+
+    def test_explain_count_capped(self, context):
+        assert len(context.x_explain) <= SCALES["smoke"].n_explain
+
+    def test_blackbox_beats_chance(self, context):
+        assert context.blackbox_accuracy > 0.6
+
+    def test_stats_fitted(self, context):
+        assert context.stats.mad("age") > 0
+
+    def test_dataset_property(self, context):
+        assert context.dataset == "adult"
+
+
+class TestRunMethod:
+    def test_ours_reports_single_kind(self, context):
+        report = run_method(context, "ours_unary")
+        assert report.feasibility_unary is not None
+        assert report.feasibility_binary is None
+        assert report.validity > 50.0
+
+    def test_baseline_reports_both_kinds(self, context):
+        report = run_method(context, "cem")
+        assert report.feasibility_unary is not None
+        assert report.feasibility_binary is not None
+
+    def test_unknown_method(self, context):
+        with pytest.raises(KeyError):
+            run_method(context, "gandalf")
+
+    def test_method_order_is_papers(self):
+        assert TABLE4_METHOD_ORDER[0] == "mahajan_unary"
+        assert TABLE4_METHOD_ORDER[-1] == "ours_binary"
+        assert len(TABLE4_METHOD_ORDER) == 9

@@ -1,0 +1,132 @@
+"""Tests for the table and figure builders."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    build_figure6,
+    build_table1,
+    build_table2,
+    build_table3,
+    build_table4,
+    build_table5,
+    prepare_context,
+)
+from repro.metrics import MethodReport
+
+
+class TestTable1:
+    def test_rows_and_layout(self):
+        text, rows = build_table1(scale="smoke")
+        assert "TABLE I" in text
+        assert len(rows) == 3
+        # attribute mixes are schema facts, independent of scale
+        mixes = {row[0]: row[3] for row in rows}
+        assert mixes["Adult"] == "5/2/2"
+        assert mixes["KDD-Census Income"] == "32/2/7"
+        assert mixes["Law School Dataset"] == "1/3/6"
+
+    def test_cleaning_ratios(self):
+        _, rows = build_table1(scale="smoke")
+        for row in rows:
+            assert row[2] < row[1]  # cleaned < raw
+
+
+class TestTable2:
+    def test_layer_structure(self):
+        text, rows = build_table2(n_features=9)
+        assert "TABLE II" in text
+        encoder_rows = [r for r in rows if r[0] == "Encoder"]
+        decoder_rows = [r for r in rows if r[0] == "Decoder"]
+        assert len(encoder_rows) == 5
+        assert len(decoder_rows) == 5
+        assert encoder_rows[0][2] == 10  # Num. Features + 1
+        assert decoder_rows[0][2] == 11  # latent + 1
+
+    def test_paper_widths_present(self):
+        _, rows = build_table2(n_features=9)
+        widths = [row[3] for row in rows if isinstance(row[3], int)]
+        for width in (20, 16, 14, 12):
+            assert width in widths
+
+
+class TestTable3:
+    def test_six_rows(self):
+        text, rows = build_table3()
+        assert "TABLE III" in text
+        assert len(rows) == 6
+
+    def test_paper_learning_rates(self):
+        _, rows = build_table3()
+        rates = {(row[0], row[1]): row[2] for row in rows}
+        assert rates[("Adult", "Unary-const")] == 0.2
+        assert rates[("KDD-Census Income", "Unary-const")] == 0.1
+
+    def test_batch_always_2048(self):
+        _, rows = build_table3()
+        assert all(row[3] == 2048 for row in rows)
+
+
+class TestTable4:
+    def fake_report(self, name):
+        return MethodReport(
+            method=name, validity=99.0, feasibility_unary=80.0,
+            feasibility_binary=None, continuous_proximity=-2.5,
+            categorical_proximity=-2.0, sparsity=4.4)
+
+    def test_render(self):
+        text, rows = build_table4([self.fake_report("ours_unary")], "Adult")
+        assert "TABLE IV" in text
+        assert "Our method (a) Unary" in text
+        assert "Adult" in text
+
+    def test_none_rendered_as_dash(self):
+        text, _ = build_table4([self.fake_report("revise")])
+        assert "-" in text
+
+
+@pytest.fixture(scope="module")
+def smoke_result():
+    from repro.core import FeasibleCFExplainer, fast_config
+    context = prepare_context("adult", scale="smoke", seed=0)
+    explainer = FeasibleCFExplainer(
+        context.bundle.encoder, constraint_kind="binary",
+        config=fast_config(epochs=6), blackbox=context.blackbox, seed=0)
+    explainer.fit(context.x_train, context.y_train)
+    return explainer.explain(context.x_explain, context.desired)
+
+
+class TestTable5:
+    def test_picks_valid_feasible_row(self, smoke_result):
+        text, index = build_table5(smoke_result)
+        if index is None:
+            pytest.skip("no valid+feasible row in the smoke batch")
+        assert "TABLE V" in text
+        assert smoke_result.valid[index]
+        assert smoke_result.feasible[index]
+        assert "x true" in text and "x pred" in text
+
+    def test_explicit_index(self, smoke_result):
+        text, index = build_table5(smoke_result, index=0)
+        assert index == 0
+
+
+class TestFigure6:
+    def test_structure_and_metrics(self):
+        figure = build_figure6("adult", scale="smoke", n_points=120,
+                               tsne_iterations=120)
+        assert figure.dataset == "adult"
+        assert [v.name for v in figure.views] == [
+            "training data", "latent samples", "predicted examples"]
+        for view in figure.views:
+            assert view.embedding.shape == (120, 2)
+            assert len(view.labels) == 120
+            assert 0.0 <= view.knn_agreement <= 1.0
+
+    def test_render_contains_all_panels(self):
+        figure = build_figure6("adult", scale="smoke", n_points=80,
+                               tsne_iterations=100)
+        art = figure.render()
+        assert "training data" in art
+        assert "latent samples" in art
+        assert "predicted examples" in art

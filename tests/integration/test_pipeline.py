@@ -1,0 +1,151 @@
+"""End-to-end integration tests across modules.
+
+These exercise the same paths the paper's evaluation uses: raw generation
+-> cleaning -> encoding -> classifier -> CF-VAE -> metrics -> manifolds,
+plus model persistence and cross-dataset consistency.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FeasibleCFExplainer, fast_config
+from repro.data import load_dataset
+from repro.experiments import prepare_context, run_method
+from repro.manifold import TSNE, knn_label_agreement
+from repro.metrics import evaluate_counterfactuals
+from repro.nn import load_state, save_state
+
+
+@pytest.fixture(scope="module")
+def adult_small():
+    return load_dataset("adult", n_instances=2500, seed=0)
+
+
+class TestEndToEnd:
+    def test_full_pipeline_produces_scored_counterfactuals(self, adult_small):
+        bundle = adult_small
+        x_train, y_train = bundle.split("train")
+        explainer = FeasibleCFExplainer(
+            bundle.encoder, constraint_kind="unary",
+            config=fast_config(epochs=10), seed=0)
+        explainer.fit(x_train, y_train)
+        x_test, _ = bundle.split("test")
+        negatives = x_test[explainer.blackbox.predict(x_test) == 0]
+        result = explainer.explain(negatives)
+
+        report = evaluate_counterfactuals(
+            "ours", negatives, result.x_cf, result.desired,
+            explainer.blackbox, bundle.encoder, x_train=x_train)
+        assert report.validity > 50.0
+        assert 0.0 <= report.feasibility_unary <= 100.0
+        assert report.sparsity > 0.0
+        assert report.continuous_proximity <= 0.0
+
+    def test_decoded_counterfactuals_respect_schema(self, adult_small):
+        bundle = adult_small
+        x_train, y_train = bundle.split("train")
+        explainer = FeasibleCFExplainer(
+            bundle.encoder, config=fast_config(epochs=5), seed=0)
+        explainer.fit(x_train, y_train)
+        result = explainer.explain(bundle.encoded[bundle.test_idx[:20]])
+        frame = result.decoded()
+        for spec in bundle.schema.continuous:
+            assert frame[spec.name].min() >= spec.bounds[0]
+            assert frame[spec.name].max() <= spec.bounds[1]
+        for spec in bundle.schema.categorical:
+            assert set(frame[spec.name]) <= set(spec.categories)
+
+    def test_vae_persistence_roundtrip(self, adult_small, tmp_path):
+        bundle = adult_small
+        x_train, y_train = bundle.split("train")
+        explainer = FeasibleCFExplainer(
+            bundle.encoder, config=fast_config(epochs=4), seed=0)
+        explainer.fit(x_train, y_train)
+        x_probe = bundle.encoded[bundle.test_idx[:10]]
+        before = explainer.explain(x_probe).x_cf
+
+        path = tmp_path / "cfvae.npz"
+        save_state(path, explainer.generator.vae)
+
+        fresh = FeasibleCFExplainer(
+            bundle.encoder, config=fast_config(epochs=4),
+            blackbox=explainer.blackbox, seed=0)
+        # rebuild the generator without training, then load the weights
+        fresh.fit(x_train, y_train)
+        load_state(path, fresh.generator.vae)
+        after = fresh.explain(x_probe).x_cf
+        np.testing.assert_allclose(before, after)
+
+    def test_blackbox_persistence_roundtrip(self, adult_small, tmp_path):
+        from repro.models import BlackBoxClassifier, train_classifier
+        bundle = adult_small
+        x_train, y_train = bundle.split("train")
+        blackbox = BlackBoxClassifier(bundle.encoder.n_encoded,
+                                      np.random.default_rng(0))
+        train_classifier(blackbox, x_train, y_train, epochs=5)
+        path = tmp_path / "blackbox.npz"
+        save_state(path, blackbox)
+        other = BlackBoxClassifier(bundle.encoder.n_encoded,
+                                   np.random.default_rng(99))
+        load_state(path, other)
+        np.testing.assert_allclose(
+            blackbox.predict_logits(x_train[:50]),
+            other.predict_logits(x_train[:50]))
+
+
+class TestCrossDataset:
+    @pytest.mark.parametrize("dataset", ["adult", "kdd_census", "law_school"])
+    def test_pipeline_runs_on_every_benchmark(self, dataset):
+        context = prepare_context(dataset, scale="smoke", seed=0)
+        report = run_method(context, "ours_unary")
+        assert report.n_instances == len(context.x_explain)
+        assert np.isfinite(report.validity)
+        assert np.isfinite(report.sparsity)
+
+
+class TestManifoldIntegration:
+    def test_latents_embed_and_score(self, adult_small):
+        bundle = adult_small
+        x_train, y_train = bundle.split("train")
+        explainer = FeasibleCFExplainer(
+            bundle.encoder, config=fast_config(epochs=5), seed=0)
+        explainer.fit(x_train, y_train)
+        x = x_train[:150]
+        desired = 1 - explainer.blackbox.predict(x)
+        z = explainer.generator.vae.sample_latent(x, desired)
+        embedding = TSNE(perplexity=15, n_iter=150, seed=0).fit_transform(z)
+        labels = explainer.constraints.satisfied(
+            x, explainer.generator.generate(x, desired)).astype(int)
+        agreement = knn_label_agreement(embedding, labels)
+        assert 0.0 <= agreement <= 1.0
+
+
+class TestFailureInjection:
+    def test_explainer_rejects_nan_input(self, adult_small):
+        bundle = adult_small
+        x_train, y_train = bundle.split("train")
+        explainer = FeasibleCFExplainer(
+            bundle.encoder, config=fast_config(epochs=2), seed=0)
+        explainer.fit(x_train, y_train)
+        bad = bundle.encoded[:5].copy()
+        bad[0, 0] = np.nan
+        with pytest.raises(ValueError):
+            explainer.explain(bad)
+
+    def test_fit_rejects_nan_training_data(self, adult_small):
+        bundle = adult_small
+        x_train, y_train = bundle.split("train")
+        bad = x_train.copy()
+        bad[0, 0] = np.inf
+        explainer = FeasibleCFExplainer(
+            bundle.encoder, config=fast_config(epochs=2), seed=0)
+        with pytest.raises(ValueError):
+            explainer.fit(bad, y_train)
+
+    def test_fit_rejects_nonbinary_labels(self, adult_small):
+        bundle = adult_small
+        x_train, y_train = bundle.split("train")
+        explainer = FeasibleCFExplainer(
+            bundle.encoder, config=fast_config(epochs=2), seed=0)
+        with pytest.raises(ValueError):
+            explainer.fit(x_train, y_train + 5)

@@ -1,0 +1,82 @@
+"""Tests for the from-scratch exact t-SNE."""
+
+import numpy as np
+import pytest
+
+from repro.manifold import TSNE, pca_project
+
+
+def blobs(n_per=60, dim=8, separation=5.0, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(0.0, 1.0, size=(n_per, dim))
+    b = rng.normal(separation, 1.0, size=(n_per, dim))
+    x = np.vstack([a, b])
+    labels = np.array([0] * n_per + [1] * n_per)
+    return x, labels
+
+
+class TestValidation:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            TSNE(n_components=0)
+        with pytest.raises(ValueError):
+            TSNE(perplexity=1.0)
+        with pytest.raises(ValueError):
+            TSNE(n_iter=5)
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValueError):
+            TSNE().fit_transform(np.zeros(10))
+
+    def test_rejects_tiny_input(self):
+        with pytest.raises(ValueError):
+            TSNE().fit_transform(np.zeros((3, 2)))
+
+
+class TestPCAInit:
+    def test_shape(self):
+        x, _ = blobs()
+        assert pca_project(x, 2).shape == (len(x), 2)
+
+    def test_first_component_carries_separation(self):
+        x, labels = blobs()
+        projected = pca_project(x, 2)
+        means = [projected[labels == v, 0].mean() for v in (0, 1)]
+        assert abs(means[0] - means[1]) > 1.0
+
+
+class TestEmbedding:
+    def test_output_shape(self):
+        x, _ = blobs(n_per=40)
+        embedding = TSNE(n_iter=150, seed=0).fit_transform(x)
+        assert embedding.shape == (80, 2)
+        assert np.isfinite(embedding).all()
+
+    def test_separates_blobs(self):
+        x, labels = blobs(n_per=60)
+        embedding = TSNE(n_iter=300, seed=0).fit_transform(x)
+        from repro.manifold import knn_label_agreement
+        assert knn_label_agreement(embedding, labels, k=10) > 0.9
+
+    def test_deterministic_given_seed(self):
+        x, _ = blobs(n_per=30)
+        a = TSNE(n_iter=120, seed=5).fit_transform(x)
+        b = TSNE(n_iter=120, seed=5).fit_transform(x)
+        np.testing.assert_allclose(a, b)
+
+    def test_kl_history_decreases(self):
+        x, _ = blobs(n_per=40)
+        tsne = TSNE(n_iter=300, seed=0)
+        tsne.fit_transform(x)
+        # KL after exaggeration ends should beat the first post-exaggeration reading
+        assert tsne.kl_history[-1] <= tsne.kl_history[2] + 1e-6
+
+    def test_perplexity_clipped_for_small_n(self):
+        x, _ = blobs(n_per=10)
+        embedding = TSNE(perplexity=50, n_iter=100, seed=0).fit_transform(x)
+        assert np.isfinite(embedding).all()
+
+    def test_centered_output(self):
+        x, _ = blobs(n_per=30)
+        embedding = TSNE(n_iter=100, seed=0).fit_transform(x)
+        np.testing.assert_allclose(embedding.mean(axis=0), [0.0, 0.0], atol=1e-8)

@@ -1,0 +1,137 @@
+"""Tests for proximity metrics and the MethodReport bundle."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset
+from repro.metrics import (
+    MethodReport,
+    ProximityStats,
+    categorical_proximity,
+    continuous_proximity,
+    evaluate_counterfactuals,
+)
+from repro.models import BlackBoxClassifier, train_classifier
+
+
+@pytest.fixture(scope="module")
+def setup():
+    bundle = load_dataset("adult", n_instances=1200, seed=0)
+    x_train, y_train = bundle.split("train")
+    blackbox = BlackBoxClassifier(bundle.encoder.n_encoded, np.random.default_rng(0))
+    train_classifier(blackbox, x_train, y_train, epochs=10,
+                     rng=np.random.default_rng(0))
+    stats = ProximityStats(bundle.encoder).fit(x_train)
+    return bundle, blackbox, x_train, stats
+
+
+class TestProximityStats:
+    def test_requires_fit(self, setup):
+        bundle, _, _, _ = setup
+        with pytest.raises(RuntimeError):
+            ProximityStats(bundle.encoder).mad("age")
+
+    def test_mads_positive(self, setup):
+        bundle, _, _, stats = setup
+        for spec in bundle.schema.continuous:
+            assert stats.mad(spec.name) > 0
+
+    def test_constant_column_falls_back_to_one(self, setup):
+        bundle, _, x_train, _ = setup
+        frozen = x_train.copy()
+        frozen[:, bundle.encoder.column_of("age")] = 0.5
+        stats = ProximityStats(bundle.encoder).fit(frozen)
+        assert stats.mad("age") == 1.0
+
+
+class TestContinuousProximity:
+    def test_identity_is_zero(self, setup):
+        bundle, _, x_train, stats = setup
+        x = x_train[:20]
+        assert continuous_proximity(x, x.copy(), bundle.encoder, stats) == 0.0
+
+    def test_negative_and_monotone_in_distance(self, setup):
+        bundle, _, x_train, stats = setup
+        x = x_train[:20]
+        near = x.copy()
+        near[:, bundle.encoder.column_of("age")] += 0.05
+        far = x.copy()
+        far[:, bundle.encoder.column_of("age")] += 0.5
+        p_near = continuous_proximity(x, near, bundle.encoder, stats)
+        p_far = continuous_proximity(x, far, bundle.encoder, stats)
+        assert p_near < 0 and p_far < p_near
+
+    def test_empty(self, setup):
+        bundle, _, x_train, stats = setup
+        assert continuous_proximity(x_train[:0], x_train[:0],
+                                    bundle.encoder, stats) == 0.0
+
+
+class TestCategoricalProximity:
+    def test_identity_is_zero(self, setup):
+        bundle, _, x_train, _ = setup
+        x = x_train[:20]
+        assert categorical_proximity(x, x.copy(), bundle.encoder) == 0.0
+
+    def test_counts_only_categorical(self, setup):
+        bundle, _, x_train, _ = setup
+        x = x_train[:10]
+        x_cf = x.copy()
+        # change a binary and a continuous feature: cat proximity unaffected
+        x_cf[:, bundle.encoder.column_of("age")] += 0.3
+        x_cf[:, bundle.encoder.column_of("native_us")] = \
+            1 - np.round(x[:, bundle.encoder.column_of("native_us")])
+        assert categorical_proximity(x, x_cf, bundle.encoder) == 0.0
+
+    def test_one_flip_counts_minus_one(self, setup):
+        bundle, _, x_train, _ = setup
+        x = x_train[:10]
+        x_cf = x.copy()
+        block = bundle.encoder.feature_slices["occupation"]
+        original = np.argmax(x[:, block], axis=1)
+        x_cf[:, block] = 0.0
+        width = block.stop - block.start
+        x_cf[np.arange(10), block.start + (original + 1) % width] = 1.0
+        assert categorical_proximity(x, x_cf, bundle.encoder) == -1.0
+
+
+class TestEvaluateCounterfactuals:
+    def test_full_report(self, setup):
+        bundle, blackbox, x_train, stats = setup
+        x = x_train[:30]
+        x_cf = x.copy()
+        x_cf[:, bundle.encoder.column_of("age")] += 0.05
+        desired = blackbox.predict(x_cf)
+        report = evaluate_counterfactuals(
+            "probe", x, x_cf, desired, blackbox, bundle.encoder, stats=stats)
+        assert isinstance(report, MethodReport)
+        assert report.validity == 100.0
+        assert report.feasibility_unary == 100.0
+        assert report.feasibility_binary == 100.0
+        assert report.sparsity == 1.0
+        assert report.n_instances == 30
+
+    def test_report_kinds_filter(self, setup):
+        bundle, blackbox, x_train, stats = setup
+        x = x_train[:10]
+        report = evaluate_counterfactuals(
+            "probe", x, x.copy(), np.zeros(10, dtype=int), blackbox,
+            bundle.encoder, stats=stats, report_kinds=("unary",))
+        assert report.feasibility_unary is not None
+        assert report.feasibility_binary is None
+
+    def test_needs_stats_or_train(self, setup):
+        bundle, blackbox, x_train, _ = setup
+        with pytest.raises(ValueError):
+            evaluate_counterfactuals(
+                "probe", x_train[:5], x_train[:5], np.zeros(5, dtype=int),
+                blackbox, bundle.encoder)
+
+    def test_as_row_layout(self, setup):
+        bundle, blackbox, x_train, stats = setup
+        report = evaluate_counterfactuals(
+            "probe", x_train[:5], x_train[:5].copy(), np.zeros(5, dtype=int),
+            blackbox, bundle.encoder, stats=stats)
+        row = report.as_row()
+        assert row[0] == "probe"
+        assert len(row) == 7

@@ -1,0 +1,111 @@
+"""Tests for validity, feasibility and sparsity scores."""
+
+import numpy as np
+import pytest
+
+from repro.constraints import ConstraintSet, MonotonicIncreaseConstraint
+from repro.data import load_dataset
+from repro.metrics import (
+    changed_features,
+    feasibility_score,
+    sparsity_score,
+    validity_score,
+)
+from repro.models import BlackBoxClassifier, train_classifier
+
+
+@pytest.fixture(scope="module")
+def setup():
+    bundle = load_dataset("adult", n_instances=1200, seed=0)
+    x_train, y_train = bundle.split("train")
+    blackbox = BlackBoxClassifier(bundle.encoder.n_encoded, np.random.default_rng(0))
+    train_classifier(blackbox, x_train, y_train, epochs=10,
+                     rng=np.random.default_rng(0))
+    return bundle, blackbox, x_train
+
+
+class TestValidity:
+    def test_perfect_when_desired_matches_predictions(self, setup):
+        bundle, blackbox, x_train = setup
+        desired = blackbox.predict(x_train[:50])
+        assert validity_score(blackbox, x_train[:50], desired) == 100.0
+
+    def test_zero_when_desired_opposite(self, setup):
+        bundle, blackbox, x_train = setup
+        desired = 1 - blackbox.predict(x_train[:50])
+        assert validity_score(blackbox, x_train[:50], desired) == 0.0
+
+    def test_empty_input(self, setup):
+        bundle, blackbox, x_train = setup
+        assert validity_score(blackbox, x_train[:0], np.array([], dtype=int)) == 0.0
+
+
+class TestFeasibility:
+    def test_identity_cf_is_feasible(self, setup):
+        bundle, _, x_train = setup
+        constraints = ConstraintSet(
+            [MonotonicIncreaseConstraint(bundle.encoder, "age")])
+        assert feasibility_score(constraints, x_train[:30], x_train[:30].copy()) == 100.0
+
+    def test_age_decrease_scores_zero(self, setup):
+        bundle, _, x_train = setup
+        constraints = ConstraintSet(
+            [MonotonicIncreaseConstraint(bundle.encoder, "age")])
+        x = x_train[:30]
+        x_cf = x.copy()
+        x_cf[:, bundle.encoder.column_of("age")] -= 0.1
+        assert feasibility_score(constraints, x, x_cf) == 0.0
+
+    def test_partial(self, setup):
+        bundle, _, x_train = setup
+        constraints = ConstraintSet(
+            [MonotonicIncreaseConstraint(bundle.encoder, "age")])
+        x = x_train[:10]
+        x_cf = x.copy()
+        x_cf[:5, bundle.encoder.column_of("age")] -= 0.1
+        assert feasibility_score(constraints, x, x_cf) == 50.0
+
+
+class TestSparsityAndChanges:
+    def test_identity_has_zero_sparsity(self, setup):
+        bundle, _, x_train = setup
+        assert sparsity_score(x_train[:20], x_train[:20].copy(), bundle.encoder) == 0.0
+
+    def test_counts_continuous_change(self, setup):
+        bundle, _, x_train = setup
+        x = x_train[:10]
+        x_cf = x.copy()
+        x_cf[:, bundle.encoder.column_of("age")] += 0.1
+        assert sparsity_score(x, x_cf, bundle.encoder) == 1.0
+
+    def test_ignores_subthreshold_drift(self, setup):
+        bundle, _, x_train = setup
+        x = x_train[:10]
+        x_cf = x + 1e-4  # below the 0.005 tolerance everywhere
+        counts = changed_features(x, x_cf, bundle.encoder)
+        # categorical argmax and binary rounding are unaffected by 1e-4
+        assert counts.max() == 0
+
+    def test_counts_categorical_flip(self, setup):
+        bundle, _, x_train = setup
+        x = x_train[:10]
+        x_cf = x.copy()
+        block = bundle.encoder.feature_slices["education"]
+        x_cf[:, block] = 0.0
+        # move everyone to a fixed category different from the original argmax
+        original = np.argmax(x[:, block], axis=1)
+        target = (original + 1) % (block.stop - block.start)
+        x_cf[np.arange(10), block.start + target] = 1.0
+        assert sparsity_score(x, x_cf, bundle.encoder) == 1.0
+
+    def test_counts_binary_flip(self, setup):
+        bundle, _, x_train = setup
+        x = x_train[:10]
+        x_cf = x.copy()
+        column = bundle.encoder.column_of("native_us")
+        x_cf[:, column] = 1.0 - np.round(x[:, column])
+        assert sparsity_score(x, x_cf, bundle.encoder) == 1.0
+
+    def test_empty_input(self, setup):
+        bundle, _, x_train = setup
+        assert sparsity_score(x_train[:0], x_train[:0], bundle.encoder) == 0.0

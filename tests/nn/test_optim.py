@@ -1,0 +1,100 @@
+"""Unit tests for SGD and Adam optimisers, including convergence checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, Linear, Optimizer, Tensor, bce_with_logits
+
+
+class TestConstruction:
+    def test_requires_parameters(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_requires_positive_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Tensor([1.0], requires_grad=True)], lr=0.0)
+
+    def test_momentum_bounds(self):
+        with pytest.raises(ValueError):
+            SGD([Tensor([1.0], requires_grad=True)], lr=0.1, momentum=1.0)
+
+    def test_base_step_not_implemented(self):
+        opt = Optimizer.__new__(Optimizer)
+        opt.parameters = [Tensor([1.0], requires_grad=True)]
+        with pytest.raises(NotImplementedError):
+            opt.step()
+
+
+class TestSGD:
+    def test_single_step_direction(self):
+        p = Tensor([1.0], requires_grad=True)
+        (p * 3.0).sum().backward()
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [1.0 - 0.3])
+
+    def test_skips_parameters_without_grad(self):
+        p = Tensor([1.0], requires_grad=True)
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_zero_grad(self):
+        p = Tensor([1.0], requires_grad=True)
+        (p * 2.0).sum().backward()
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            p = Tensor([5.0], requires_grad=True)
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(20):
+                opt.zero_grad()
+                (p * p).sum().backward()
+                opt.step()
+            return abs(p.data[0])
+
+        assert run(0.9) < run(0.0)
+
+    def test_converges_on_quadratic(self):
+        p = Tensor([4.0, -3.0], requires_grad=True)
+        opt = SGD([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, [0.0, 0.0], atol=1e-8)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Tensor([4.0, -3.0], requires_grad=True)
+        opt = Adam([p], lr=0.2)
+        for _ in range(300):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, [0.0, 0.0], atol=1e-4)
+
+    def test_bias_correction_first_step(self):
+        p = Tensor([1.0], requires_grad=True)
+        (p * 1.0).sum().backward()
+        Adam([p], lr=0.1).step()
+        # with bias correction the first step has magnitude ~lr
+        np.testing.assert_allclose(p.data, [1.0 - 0.1], atol=1e-6)
+
+    def test_trains_logistic_regression(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(200, 4))
+        true_w = np.array([1.5, -2.0, 0.5, 1.0])
+        y = (x @ true_w > 0).astype(float)
+        layer = Linear(4, 1, rng)
+        opt = Adam(layer.parameters(), lr=0.05)
+        for _ in range(150):
+            opt.zero_grad()
+            logits = layer(x).reshape(200)
+            bce_with_logits(logits, y).backward()
+            opt.step()
+        preds = (layer(x).data.ravel() > 0).astype(float)
+        assert (preds == y).mean() > 0.95

@@ -1,0 +1,34 @@
+"""Tests for npz save/load of module parameters."""
+
+import numpy as np
+
+from repro.nn import Linear, ReLU, Sequential, load_state, save_state
+
+
+def build(seed):
+    rng = np.random.default_rng(seed)
+    return Sequential(Linear(3, 5, rng), ReLU(), Linear(5, 2, rng))
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_outputs(self, tmp_path):
+        model = build(0)
+        path = tmp_path / "model.npz"
+        save_state(path, model)
+        other = build(99)  # different init
+        load_state(path, other)
+        x = np.ones((4, 3))
+        np.testing.assert_allclose(model(x).data, other(x).data)
+
+    def test_load_returns_module(self, tmp_path):
+        model = build(0)
+        path = tmp_path / "model.npz"
+        save_state(path, model)
+        assert load_state(path, model) is model
+
+    def test_saved_file_contains_all_parameters(self, tmp_path):
+        model = build(0)
+        path = tmp_path / "model.npz"
+        save_state(path, model)
+        with np.load(path) as archive:
+            assert set(archive.files) == set(model.state_dict())

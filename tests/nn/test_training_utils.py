@@ -1,0 +1,114 @@
+"""Tests for gradient clipping, LR schedules and early stopping."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    CosineDecay,
+    EarlyStopping,
+    StepDecay,
+    Tensor,
+    clip_grad_norm,
+)
+
+
+def param_with_grad(grad):
+    p = Tensor(np.zeros_like(np.asarray(grad, dtype=float)), requires_grad=True)
+    p.grad = np.asarray(grad, dtype=float)
+    return p
+
+
+class TestClipGradNorm:
+    def test_rejects_bad_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([], 0.0)
+
+    def test_no_grads_returns_zero(self):
+        p = Tensor(np.zeros(3), requires_grad=True)
+        assert clip_grad_norm([p], 1.0) == 0.0
+
+    def test_under_limit_untouched(self):
+        p = param_with_grad([0.3, 0.4])  # norm 0.5
+        returned = clip_grad_norm([p], 1.0)
+        assert returned == pytest.approx(0.5)
+        np.testing.assert_allclose(p.grad, [0.3, 0.4])
+
+    def test_over_limit_scaled(self):
+        p = param_with_grad([3.0, 4.0])  # norm 5
+        returned = clip_grad_norm([p], 1.0)
+        assert returned == pytest.approx(5.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_global_norm_across_parameters(self):
+        a = param_with_grad([3.0])
+        b = param_with_grad([4.0])
+        clip_grad_norm([a, b], 1.0)
+        total = np.sqrt(float((a.grad ** 2).sum()) + float((b.grad ** 2).sum()))
+        assert total == pytest.approx(1.0, rel=1e-6)
+
+
+class TestSchedules:
+    def optimizer(self, lr=1.0):
+        return SGD([Tensor([0.0], requires_grad=True)], lr=lr)
+
+    def test_step_decay_validation(self):
+        with pytest.raises(ValueError):
+            StepDecay(self.optimizer(), step_size=0)
+        with pytest.raises(ValueError):
+            StepDecay(self.optimizer(), step_size=2, gamma=0.0)
+
+    def test_step_decay_halves_at_boundary(self):
+        opt = self.optimizer(lr=1.0)
+        schedule = StepDecay(opt, step_size=2, gamma=0.5)
+        schedule.step()
+        assert opt.lr == 1.0
+        schedule.step()
+        assert opt.lr == 0.5
+        schedule.step()
+        schedule.step()
+        assert opt.lr == 0.25
+
+    def test_cosine_decay_endpoints(self):
+        opt = self.optimizer(lr=1.0)
+        schedule = CosineDecay(opt, total_epochs=10, min_lr=0.1)
+        for _ in range(10):
+            schedule.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_cosine_decay_monotone(self):
+        opt = self.optimizer(lr=1.0)
+        schedule = CosineDecay(opt, total_epochs=8)
+        values = [schedule.step() for _ in range(8)]
+        assert values == sorted(values, reverse=True)
+
+    def test_cosine_decay_validation(self):
+        with pytest.raises(ValueError):
+            CosineDecay(self.optimizer(), total_epochs=0)
+
+
+class TestEarlyStopping:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)
+
+    def test_stops_after_patience(self):
+        stopper = EarlyStopping(patience=2, min_delta=0.0)
+        assert not stopper.update(1.0)
+        assert not stopper.update(1.0)  # stale 1
+        assert stopper.update(1.0)      # stale 2 -> stop
+        assert stopper.should_stop
+
+    def test_improvement_resets(self):
+        stopper = EarlyStopping(patience=2, min_delta=0.01)
+        stopper.update(1.0)
+        stopper.update(1.0)   # stale 1
+        stopper.update(0.5)   # improvement resets
+        assert not stopper.should_stop
+        assert stopper.best == 0.5
+
+    def test_min_delta_gate(self):
+        stopper = EarlyStopping(patience=1, min_delta=0.1)
+        stopper.update(1.0)
+        # an improvement smaller than min_delta counts as stale
+        assert stopper.update(0.95)

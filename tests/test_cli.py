@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_commands_accepted(self):
+        parser = build_parser()
+        for command in ("table1", "table2", "table3", "table4", "table5",
+                        "figure6", "discover", "all"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.dataset == "adult"
+        assert args.scale == "fast"
+        assert args.seed == 0
+        assert args.out is None
+
+    def test_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table9"])
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table4", "--dataset", "mnist"])
+
+
+class TestExecution:
+    def test_table1_prints(self, capsys):
+        assert main(["table1", "--scale", "smoke"]) == 0
+        assert "TABLE I" in capsys.readouterr().out
+
+    def test_table2_prints(self, capsys):
+        assert main(["table2"]) == 0
+        assert "TABLE II" in capsys.readouterr().out
+
+    def test_table3_prints(self, capsys):
+        assert main(["table3"]) == 0
+        assert "TABLE III" in capsys.readouterr().out
+
+    def test_discover_writes_artifact(self, capsys, tmp_path):
+        code = main(["discover", "--dataset", "law_school",
+                     "--scale", "smoke", "--out", str(tmp_path)])
+        assert code == 0
+        assert "tier" in capsys.readouterr().out
+        assert (tmp_path / "discovered_law_school.txt").exists()
+
+    def test_out_directory_created(self, tmp_path):
+        target = tmp_path / "nested" / "dir"
+        main(["table1", "--scale", "smoke", "--out", str(target)])
+        assert (target / "table1.txt").exists()
