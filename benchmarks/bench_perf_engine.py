@@ -1,0 +1,72 @@
+"""Benchmark: engine hot-path throughput (train / predict / candidates).
+
+Unlike the table/figure benchmarks this one tracks the *performance
+trajectory* of the substrate itself.  It runs the fixed workload of
+:mod:`repro.experiments.perfbench` and writes ``BENCH_engine.json`` at
+the repository root with current throughput, the pre-fast-path baseline
+and the speedup factors.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_perf_engine.py --scale smoke
+
+or through pytest (writes the same JSON plus an artifact copy)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_perf_engine.py -q
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_engine.json"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.perfbench import run_perfbench, write_bench  # noqa: E402
+
+REQUIRED_SECTIONS = ("train", "predict", "candidates")
+
+
+def check_wellformed(results):
+    """Raise if a benchmark result dict is missing required structure."""
+    for section in REQUIRED_SECTIONS:
+        if section not in results:
+            raise KeyError(f"BENCH_engine results missing section {section!r}")
+        if results[section]["rows_per_sec"] <= 0:
+            raise ValueError(f"non-positive throughput in section {section!r}")
+    return True
+
+
+def run_and_write(scale="smoke", seed=0, output=DEFAULT_OUTPUT):
+    """Run the harness, validate and persist the JSON; returns results."""
+    results = run_perfbench(scale=scale, seed=seed)
+    check_wellformed(results)
+    write_bench(results, output)
+    return results
+
+
+def test_perf_engine(artifact_dir):
+    """Pytest entry: smoke-scale run, JSON written and well-formed."""
+    results = run_and_write(scale="smoke")
+    check_wellformed(json.loads(DEFAULT_OUTPUT.read_text()))
+    artifact = artifact_dir / "bench_engine.json"
+    artifact.write_text(json.dumps(results, indent=2) + "\n")
+    print(json.dumps({k: results[k] for k in REQUIRED_SECTIONS}, indent=2))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="smoke", choices=("smoke", "full"))
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+    results = run_and_write(scale=args.scale, seed=args.seed, output=args.output)
+    print(json.dumps(results, indent=2))
+    print(f"\nwrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

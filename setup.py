@@ -1,10 +1,11 @@
 """Setuptools shim.
 
-The evaluation environment has an old setuptools and no ``wheel`` package,
-so PEP 660 editable installs fail; this file enables the legacy path:
+All project metadata lives in ``pyproject.toml``.  This file exists only
+because the evaluation environment has an old setuptools and no ``wheel``
+package, so PEP 660 editable installs fail; it enables the legacy path:
 ``pip install -e . --no-use-pep517 --no-build-isolation``.
 """
 
 from setuptools import setup
 
-setup()
+setup(name="repro", version="0.1.0", package_dir={"": "src"})

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..nn import SGD, Adam, Tensor, no_grad
+from ..nn import SGD, Adam, Tensor
 from ..utils.validation import check_2d
 from .losses import FourPartLoss
 
@@ -137,17 +137,16 @@ class CFVAEGenerator:
         Uses the deterministic posterior mean (plus optional perturbation
         when ``perturb=True``) and projects immutable attributes back to
         their input values — the paper's "incorporated them again in the
-        final prediction".
+        final prediction".  Runs entirely on the graph-free fast path:
+        no autograd node is allocated.
         """
         if not self._fitted:
             raise RuntimeError("generator is not fitted; call fit() first")
         x = check_2d(x, "x")
         desired = self._desired_classes(x, desired)
         self.vae.eval()
-        with no_grad():
-            mu, log_var = self.vae.encode(Tensor(x), desired)
-            z = mu
-            if perturb and self.config.latent_noise:
-                z = z + self.rng.normal(0.0, self.config.latent_noise, size=mu.shape)
-            decoded = self.vae.decode(z, desired).data
+        z, _ = self.vae.encode_array(x, desired)
+        if perturb and self.config.latent_noise:
+            z = z + self.rng.normal(0.0, self.config.latent_noise, size=z.shape)
+        decoded = self.vae.decode_array(z, desired)
         return self.projector.project(x, decoded)

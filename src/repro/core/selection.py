@@ -65,38 +65,90 @@ def generate_candidates(explainer, x, n_candidates=20, noise_scale=None,
     ``n_candidates`` times with Gaussian latent noise — the "perturbed
     the output of the encoder" step of Section III-C used as a diversity
     mechanism.  Returns a list of :class:`CandidateSet`, one per row.
+
+    Fully vectorized: all ``n_rows * n_candidates`` latents decode in one
+    batched pass through the graph-free VAE path, followed by ONE
+    black-box validity call and ONE constraint feasibility call.  The
+    noise for every row is drawn in a single generator call in row-major
+    order, so the output is identical to sampling each row sequentially
+    (``_generate_candidates_loop``, the per-row reference kept for the
+    parity test in ``tests/core/test_selection_vectorized.py``).
     """
+    x, n_candidates, rng, noise_scale, desired = _candidate_args(
+        explainer, x, n_candidates, noise_scale, desired, rng)
+    generator = explainer.generator
+    vae = generator.vae
+    vae.eval()
+    mu, _ = vae.encode_array(x, desired)
+
+    n_rows, latent_dim = mu.shape
+    noise = rng.normal(0.0, noise_scale, size=(n_rows, n_candidates, latent_dim))
+    noise[:, 0, :] = 0.0  # always include the deterministic candidate
+    z = (mu[:, None, :] + noise).reshape(n_rows * n_candidates, latent_dim)
+
+    # The repeated-input matrix is materialised ONCE and shared by the
+    # projection and the feasibility check.
+    inputs = np.repeat(x, n_candidates, axis=0)
+    labels = np.repeat(np.asarray(desired, dtype=np.float64), n_candidates)
+    decoded = vae.decode_latent(z, labels)
+    decoded = generator.projector.project(inputs, decoded)
+
+    valid = explainer.blackbox.predict(decoded) == np.repeat(desired, n_candidates)
+    feasible = explainer.constraints.satisfied(inputs, decoded)
+
+    sets = []
+    for i in range(n_rows):
+        rows = slice(i * n_candidates, (i + 1) * n_candidates)
+        sets.append(CandidateSet(
+            x=x[i],
+            candidates=decoded[rows],
+            valid=valid[rows],
+            feasible=feasible[rows],
+        ))
+    return sets
+
+
+def _candidate_args(explainer, x, n_candidates, noise_scale, desired, rng):
+    """Shared validation/defaults for the vectorized and loop generators."""
     if explainer.generator is None:
         raise RuntimeError("explainer is not fitted; call fit() first")
     x = check_2d(x, "x")
     if n_candidates < 1:
         raise ValueError(f"n_candidates must be >= 1, got {n_candidates}")
     rng = rng or np.random.default_rng(explainer.seed + 500)
-    generator = explainer.generator
     if noise_scale is None:
-        noise_scale = max(generator.config.latent_noise, 0.05)
+        noise_scale = max(explainer.generator.config.latent_noise, 0.05)
     if desired is None:
         desired = 1 - explainer.blackbox.predict(x)
+    return x, n_candidates, rng, noise_scale, desired
 
+
+def _generate_candidates_loop(explainer, x, n_candidates=20, noise_scale=None,
+                              desired=None, rng=None):
+    """Per-row reference implementation of :func:`generate_candidates`.
+
+    This is the original (pre-vectorization) loop, kept as the ground
+    truth the batched path must reproduce exactly: same rng consumption
+    order, same per-row decode/validity/feasibility semantics.  Only the
+    parity tests should call it.
+    """
+    x, n_candidates, rng, noise_scale, desired = _candidate_args(
+        explainer, x, n_candidates, noise_scale, desired, rng)
+    generator = explainer.generator
     vae = generator.vae
     vae.eval()
-    from ..nn import Tensor, no_grad
-
-    with no_grad():
-        mu, _ = vae.encode(Tensor(x), desired)
-    mu = mu.data
+    mu, _ = vae.encode_array(x, desired)
 
     sets = []
     for i in range(len(x)):
         noise = rng.normal(0.0, noise_scale,
                            size=(n_candidates, mu.shape[1]))
-        noise[0] = 0.0  # always include the deterministic candidate
+        noise[0] = 0.0
         z = mu[i][None, :] + noise
         labels = np.full(n_candidates, desired[i], dtype=np.float64)
         decoded = vae.decode_latent(z, labels)
-        decoded = generator.projector.project(
-            np.repeat(x[i][None, :], n_candidates, axis=0), decoded)
         inputs = np.repeat(x[i][None, :], n_candidates, axis=0)
+        decoded = generator.projector.project(inputs, decoded)
         sets.append(CandidateSet(
             x=x[i],
             candidates=decoded,

@@ -1,6 +1,7 @@
 """Experiment harness: regenerate every table and figure of the paper."""
 
 from .figures import Figure6Result, ManifoldView, build_figure6
+from .perfbench import PERF_SCALES, PRE_PR_BASELINE, run_perfbench, write_bench
 from .harness import (
     TABLE4_METHOD_ORDER,
     ExperimentContext,
@@ -17,4 +18,5 @@ __all__ = [
     "TABLE4_METHOD_ORDER",
     "build_table1", "build_table2", "build_table3", "build_table4", "build_table5",
     "ManifoldView", "Figure6Result", "build_figure6",
+    "PERF_SCALES", "PRE_PR_BASELINE", "run_perfbench", "write_bench",
 ]

@@ -12,8 +12,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..nn import SGD, Adam, Linear, Module, ReLU, Sequential, bce_with_logits, no_grad
-from ..utils.validation import check_2d, check_binary_labels
+from ..nn import SGD, Adam, Linear, Module, ReLU, Sequential, bce_with_logits
+from ..nn.functional import sigmoid_forward
+from ..utils.validation import check_2d, check_2d_fast, check_binary_labels
 
 __all__ = ["BlackBoxClassifier", "train_classifier", "accuracy"]
 
@@ -45,18 +46,20 @@ class BlackBoxClassifier(Module):
         """Raw logits of shape (batch,); positive favours class 1."""
         return self.network(x).reshape(-1)
 
-    # -- inference helpers (detached from the graph) -----------------------
+    # -- inference helpers (graph-free fast path) --------------------------
     def predict_logits(self, x):
-        """Logits as a plain ndarray, without building a graph."""
-        x = check_2d(x, "x")
-        self.eval()
-        with no_grad():
-            return self.forward(x).data
+        """Logits as a plain ndarray, via the graph-free fast path.
+
+        Uses :meth:`repro.nn.Module.forward_array`, so no Tensor node is
+        allocated — this is the hot validity-check path every explainer
+        and the candidate sweep hammer with small batches.
+        """
+        x = check_2d_fast(x, "x")
+        return self.network.forward_array(x).reshape(-1)
 
     def predict_proba(self, x):
         """P(class = 1) per row."""
-        logits = self.predict_logits(x)
-        return 1.0 / (1.0 + np.exp(-np.clip(logits, -500, 500)))
+        return sigmoid_forward(self.predict_logits(x))
 
     def predict(self, x):
         """Hard 0/1 predictions."""

@@ -24,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..nn import Dropout, Linear, Module, ReLU, Sequential, Tensor, no_grad
+from ..nn.functional import sigmoid_forward
 
 __all__ = ["ConditionalVAE", "LATENT_DIM", "ENCODER_WIDTHS", "DECODER_WIDTHS"]
 
@@ -78,8 +79,8 @@ class ConditionalVAE(Module):
     # -- pieces ------------------------------------------------------------
     @staticmethod
     def _with_class(x, labels):
-        """Append the class label as an extra column."""
-        labels = np.asarray(labels, dtype=np.float64).reshape(-1, 1)
+        """Append the class label as an extra column (dtype follows x)."""
+        labels = np.asarray(labels, dtype=x.data.dtype).reshape(-1, 1)
         column = Tensor(labels)
         return Tensor.concatenate([x, column], axis=1)
 
@@ -97,8 +98,10 @@ class ConditionalVAE(Module):
 
     def reparameterize(self, mu, log_var):
         """Sample ``z = mu + sigma * eps`` with pathwise gradients."""
-        eps = self._noise_rng.standard_normal(mu.shape)
-        sigma = (log_var * 0.5).maximum(Tensor(np.full(log_var.shape, -10.0))).exp()
+        eps = self._noise_rng.standard_normal(mu.shape).astype(
+            mu.data.dtype, copy=False)
+        floor = Tensor(np.full(log_var.shape, -10.0, dtype=log_var.data.dtype))
+        sigma = (log_var * 0.5).maximum(floor).exp()
         return mu + sigma * eps
 
     def decode(self, z, labels):
@@ -118,23 +121,51 @@ class ConditionalVAE(Module):
         from ..nn import as_tensor
         return self.forward(as_tensor(x), labels)
 
-    # -- inference helpers ----------------------------------------------------
+    # -- inference helpers (graph-free fast path) -----------------------------
+    # These run entirely on :meth:`repro.nn.Module.forward_array`; no
+    # Tensor node is allocated.  They share the numpy kernels of
+    # :mod:`repro.nn.functional` with the graph ops, so outputs are
+    # numerically identical to the ``no_grad`` graph path.
+    @staticmethod
+    def _with_class_array(x, labels):
+        """ndarray twin of :meth:`_with_class` (dtype-preserving)."""
+        x = np.asarray(x)
+        if x.dtype.kind != "f":
+            x = x.astype(np.float64)
+        labels = np.asarray(labels, dtype=x.dtype).reshape(-1, 1)
+        return np.concatenate([x, labels], axis=1)
+
+    def encode_array(self, x, labels):
+        """Graph-free :meth:`encode`: ``(mu, log_var)`` as plain ndarrays."""
+        hidden = self.encoder_trunk.forward_array(self._with_class_array(x, labels))
+        mu = sigmoid_forward(self.mu_head.forward_array(hidden))
+        log_var = self.log_var_head.forward_array(hidden)
+        return mu, log_var
+
+    def decode_array(self, z, labels):
+        """Graph-free :meth:`decode`: features as a plain ndarray."""
+        hidden = self.decoder_trunk.forward_array(self._with_class_array(z, labels))
+        return sigmoid_forward(self.output_head.forward_array(hidden))
+
     def reconstruct(self, x, labels):
         """Deterministic eval-mode reconstruction (z = mu), as ndarray."""
         self.eval()
-        with no_grad():
-            mu, _ = self.encode(Tensor(np.asarray(x, dtype=np.float64)), labels)
-            return self.decode(mu, labels).data
+        mu, _ = self.encode_array(x, labels)
+        return self.decode_array(mu, labels)
 
     def sample_latent(self, x, labels):
-        """Eval-mode stochastic latent samples, as ndarray."""
+        """Eval-mode stochastic latent samples, as ndarray.
+
+        Encoding runs graph-free; the sample itself reuses the single
+        :meth:`reparameterize` implementation (under ``no_grad``) so the
+        sigma formula and its log-var floor live in exactly one place.
+        """
         self.eval()
+        mu, log_var = self.encode_array(x, labels)
         with no_grad():
-            mu, log_var = self.encode(Tensor(np.asarray(x, dtype=np.float64)), labels)
-            return self.reparameterize(mu, log_var).data
+            return self.reparameterize(Tensor(mu), Tensor(log_var)).data
 
     def decode_latent(self, z, labels):
-        """Eval-mode decode of plain latent ndarray."""
+        """Eval-mode decode of plain latent ndarray (graph-free)."""
         self.eval()
-        with no_grad():
-            return self.decode(Tensor(np.asarray(z, dtype=np.float64)), labels).data
+        return self.decode_array(z, labels)

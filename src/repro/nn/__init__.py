@@ -5,6 +5,7 @@ replaces that dependency with a from-scratch engine: :class:`Tensor`
 autograd, layer modules, losses, optimisers and serialisation.
 """
 
+from . import functional
 from .init import he_uniform, xavier_uniform, zeros
 from .layers import Dropout, Linear, Module, ReLU, Sequential, Sigmoid, Tanh
 from .losses import (
@@ -19,11 +20,22 @@ from .losses import (
 )
 from .optim import SGD, Adam, Optimizer
 from .serialize import load_state, save_state
-from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad
+from .tensor import (
+    Tensor,
+    as_tensor,
+    dtype_scope,
+    get_default_dtype,
+    is_grad_enabled,
+    linear,
+    no_grad,
+    set_default_dtype,
+)
 from .training_utils import CosineDecay, EarlyStopping, StepDecay, clip_grad_norm
 
 __all__ = [
     "Tensor", "as_tensor", "no_grad", "is_grad_enabled",
+    "linear", "functional",
+    "get_default_dtype", "set_default_dtype", "dtype_scope",
     "Module", "Linear", "ReLU", "Sigmoid", "Tanh", "Dropout", "Sequential",
     "bce_with_logits", "cross_entropy", "hinge_loss", "l1_loss", "mse_loss",
     "gaussian_kl", "logsumexp", "softmax",

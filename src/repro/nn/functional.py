@@ -1,0 +1,48 @@
+"""Shared numpy forward kernels for the graph and graph-free paths.
+
+Every kernel here is used twice: by the :class:`~repro.nn.tensor.Tensor`
+autograd ops (which wrap it with a backward closure) and by the
+graph-free ``Module.forward_array`` inference path.  Keeping a single
+implementation is what makes the fast path *numerically identical* to
+the training path — there is no second formula to drift.
+
+All kernels are dtype-preserving: they compute in whatever float dtype
+the inputs carry (float64 by default, float32 in fast mode — see
+:func:`repro.nn.tensor.set_default_dtype`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["linear_forward", "relu_forward", "sigmoid_forward", "tanh_forward"]
+
+
+def linear_forward(x, weight, bias):
+    """Fused affine kernel ``x @ weight + bias`` with one allocation.
+
+    The bias add happens in place on the fresh matmul output, so the
+    fused op allocates a single array where the ``matmul`` + ``add``
+    chain allocated two.
+    """
+    out = x @ weight
+    out += bias
+    return out
+
+
+def relu_forward(x):
+    """``max(x, 0)`` elementwise."""
+    return np.maximum(x, 0.0)
+
+
+def sigmoid_forward(x):
+    """Numerically stable logistic sigmoid (split at 0 to avoid overflow)."""
+    clipped = np.clip(x, -500, 500)
+    return np.where(x >= 0,
+                    1.0 / (1.0 + np.exp(-clipped)),
+                    np.exp(clipped) / (1.0 + np.exp(clipped)))
+
+
+def tanh_forward(x):
+    """Hyperbolic tangent."""
+    return np.tanh(x)

@@ -10,8 +10,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import functional
 from .init import he_uniform, xavier_uniform, zeros
-from .tensor import Tensor, as_tensor
+from .tensor import Tensor, as_tensor, linear, no_grad
 
 __all__ = ["Module", "Linear", "ReLU", "Sigmoid", "Tanh", "Dropout", "Sequential"]
 
@@ -33,6 +34,19 @@ class Module:
 
     def __call__(self, x):
         return self.forward(as_tensor(x))
+
+    def forward_array(self, x):
+        """Graph-free forward: plain ndarray in, plain ndarray out.
+
+        The fast inference path — no :class:`Tensor` node is allocated
+        anywhere.  Layers override this with a pure-numpy twin of
+        :meth:`forward` built on the same :mod:`repro.nn.functional`
+        kernels, so the result is numerically identical to
+        ``forward(...).data`` under ``no_grad``.  The default falls back
+        to exactly that graph path for modules without an override.
+        """
+        with no_grad():
+            return self.forward(as_tensor(x)).data
 
     # -- parameter / child discovery ----------------------------------
     def named_parameters(self, prefix=""):
@@ -100,7 +114,7 @@ class Module:
             raise KeyError(f"state mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
         for name, value in state.items():
             target = parameters[name]
-            value = np.asarray(value, dtype=np.float64)
+            value = np.asarray(value, dtype=target.data.dtype)
             if value.shape != target.data.shape:
                 raise ValueError(f"shape mismatch for {name}: {value.shape} vs {target.data.shape}")
             target.data = value.copy()
@@ -134,7 +148,14 @@ class Linear(Module):
         self.bias = Tensor(zeros(out_features), requires_grad=True)
 
     def forward(self, x):
-        return x @ self.weight + self.bias
+        return linear(x, self.weight, self.bias)
+
+    def forward_array(self, x):
+        weight = self.weight.data
+        x = np.asarray(x)
+        if x.dtype != weight.dtype:
+            x = x.astype(weight.dtype)
+        return functional.linear_forward(x, weight, self.bias.data)
 
     def __repr__(self):
         return f"Linear({self.in_features}, {self.out_features})"
@@ -146,6 +167,9 @@ class ReLU(Module):
     def forward(self, x):
         return x.relu()
 
+    def forward_array(self, x):
+        return functional.relu_forward(x)
+
     def __repr__(self):
         return "ReLU()"
 
@@ -156,6 +180,9 @@ class Sigmoid(Module):
     def forward(self, x):
         return x.sigmoid()
 
+    def forward_array(self, x):
+        return functional.sigmoid_forward(x)
+
     def __repr__(self):
         return "Sigmoid()"
 
@@ -165,6 +192,9 @@ class Tanh(Module):
 
     def forward(self, x):
         return x.tanh()
+
+    def forward_array(self, x):
+        return functional.tanh_forward(x)
 
     def __repr__(self):
         return "Tanh()"
@@ -191,7 +221,14 @@ class Dropout(Module):
             return x
         keep = 1.0 - self.p
         mask = (self._rng.random(x.shape) < keep) / keep
-        return x * mask
+        return x * mask.astype(x.data.dtype, copy=False)
+
+    def forward_array(self, x):
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(np.shape(x)) < keep) / keep
+        return x * mask.astype(np.asarray(x).dtype, copy=False)
 
     def __repr__(self):
         return f"Dropout(p={self.p})"
@@ -207,6 +244,11 @@ class Sequential(Module):
     def forward(self, x):
         for layer in self.layers:
             x = layer(x)
+        return x
+
+    def forward_array(self, x):
+        for layer in self.layers:
+            x = layer.forward_array(x)
         return x
 
     def __getitem__(self, index):

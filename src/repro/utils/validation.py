@@ -9,7 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["check_2d", "check_binary_labels", "check_probability", "check_positive"]
+__all__ = ["check_2d", "check_2d_fast", "check_binary_labels",
+           "check_probability", "check_positive"]
 
 
 def check_2d(array, name="array"):
@@ -21,6 +22,26 @@ def check_2d(array, name="array"):
         raise ValueError(f"{name} must be non-empty")
     if not np.isfinite(array).all():
         raise ValueError(f"{name} contains NaN or infinite values")
+    return array
+
+
+def check_2d_fast(array, name="array"):
+    """Shape-only variant of :func:`check_2d` for per-call hot paths.
+
+    Skips the full-matrix ``isfinite`` scan, which costs as much as a
+    small forward pass and would be paid on *every* predict call.  Batch
+    entry points (``fit``, ``explain``) still run the full check, so
+    non-finite data is caught before it reaches the repeated-call paths.
+    Float inputs keep their dtype (float32 stays float32 so the fast
+    mode is not silently up-cast); everything else coerces to float64.
+    """
+    array = np.asarray(array)
+    if array.dtype.kind != "f":
+        array = array.astype(np.float64)
+    if array.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got shape {array.shape}")
+    if array.size == 0:
+        raise ValueError(f"{name} must be non-empty")
     return array
 
 
