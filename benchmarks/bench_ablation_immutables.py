@@ -9,7 +9,7 @@ the mechanism.
 
 import numpy as np
 
-from repro.constraints import ConstraintSet, ImmutableProjector, build_constraints
+from repro.constraints import ImmutableProjector, build_constraints
 from repro.core import paper_config
 from repro.core.generator import CFVAEGenerator
 from repro.models import ConditionalVAE

@@ -5,7 +5,6 @@ the selector's picks are at least as feasible as the deterministic
 output and land in denser feasible regions than proximity-only picks.
 """
 
-import numpy as np
 
 from repro.core import DensityCFSelector, FeasibleCFExplainer, paper_config
 from repro.utils.tables import render_table

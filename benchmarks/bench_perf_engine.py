@@ -27,7 +27,11 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.experiments.perfbench import run_perfbench, write_bench  # noqa: E402
 
-REQUIRED_SECTIONS = ("train", "predict", "candidates")
+REQUIRED_SECTIONS = ("train", "predict", "candidates", "serve")
+
+#: Acceptance floor: warm-starting from the artifact store must beat
+#: retraining from scratch by at least this factor end-to-end.
+MIN_SERVE_SPEEDUP = 5.0
 
 
 def check_wellformed(results):
@@ -35,8 +39,14 @@ def check_wellformed(results):
     for section in REQUIRED_SECTIONS:
         if section not in results:
             raise KeyError(f"BENCH_engine results missing section {section!r}")
+    for section in ("train", "predict", "candidates"):
         if results[section]["rows_per_sec"] <= 0:
             raise ValueError(f"non-positive throughput in section {section!r}")
+    serve_speedup = results["serve"]["speedup_cold_vs_warm"]
+    if serve_speedup < MIN_SERVE_SPEEDUP:
+        raise ValueError(
+            f"warm-start serving is only {serve_speedup}x faster than "
+            f"cold-start; the artifact store must buy >= {MIN_SERVE_SPEEDUP}x")
     return True
 
 

@@ -5,7 +5,6 @@ the exact Table II architecture.
 """
 
 import numpy as np
-import pytest
 
 from repro.experiments import build_table2
 from repro.models import ConditionalVAE

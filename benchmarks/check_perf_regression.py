@@ -1,0 +1,132 @@
+"""Perf-regression gate: compare BENCH_engine.json against a baseline.
+
+CI snapshots the committed ``BENCH_engine.json`` before re-running the
+benchmark, then calls this script to compare the fresh numbers against
+that baseline.  The gate fails (exit code 2) when the ``rows_per_sec``
+of a gated section drops by more than ``--threshold`` (default 30%),
+which protects the fast-path wins already banked.  A before/after
+markdown table is printed and, with ``--summary``, appended to the CI
+job summary.
+
+The baseline records *absolute* throughput, so it is only comparable on
+similar hardware: regenerate the committed ``BENCH_engine.json`` on the
+CI runner class (or from a main-branch bench artifact) whenever the
+runner hardware changes, and keep the threshold generous — the CI job
+additionally re-measures once before failing to absorb noisy-neighbor
+runs.
+
+Run locally::
+
+    cp BENCH_engine.json /tmp/baseline.json
+    PYTHONPATH=src python benchmarks/bench_perf_engine.py --scale smoke
+    python benchmarks/check_perf_regression.py \
+        --baseline /tmp/baseline.json --current BENCH_engine.json
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+#: section -> metric key that the gate enforces.
+GATED_METRICS = {
+    "predict": "rows_per_sec",
+    "candidates": "rows_per_sec",
+}
+
+#: Reported in the table but never failing: training throughput wobbles
+#: with CI host load far more than the inference fast paths do.
+INFORMATIONAL_METRICS = {
+    "train": "rows_per_sec",
+}
+
+DEFAULT_THRESHOLD = 0.30
+
+
+def compare(baseline, current, threshold=DEFAULT_THRESHOLD):
+    """Compare two benchmark result dicts section by section.
+
+    Returns ``(rows, failures)`` where ``rows`` is a list of
+    ``(section, metric, old, new, ratio, gated, ok)`` tuples and
+    ``failures`` the human-readable messages for every gated section
+    whose throughput dropped below ``1 - threshold`` of the baseline.
+    """
+    rows = []
+    failures = []
+    metrics = {**{k: (v, True) for k, v in GATED_METRICS.items()},
+               **{k: (v, False) for k, v in INFORMATIONAL_METRICS.items()}}
+    for section, (metric, gated) in sorted(metrics.items()):
+        old = float(baseline[section][metric])
+        new = float(current[section][metric])
+        if old <= 0:
+            raise ValueError(f"baseline {section}.{metric} must be positive")
+        ratio = new / old
+        ok = (not gated) or ratio >= 1.0 - threshold
+        rows.append((section, metric, old, new, ratio, gated, ok))
+        if not ok:
+            failures.append(
+                f"{section}.{metric} dropped {100 * (1 - ratio):.1f}% "
+                f"({old:.1f} -> {new:.1f} rows/sec; allowed drop "
+                f"{100 * threshold:.0f}%)")
+    return rows, failures
+
+
+def render_markdown(rows, threshold):
+    """Markdown before/after table for the CI job summary."""
+    lines = [
+        "### Perf-regression gate",
+        "",
+        f"Fails when a gated `rows_per_sec` drops more than "
+        f"{100 * threshold:.0f}% vs the committed baseline.",
+        "",
+        "| section | baseline rows/s | current rows/s | ratio | gate |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for section, _metric, old, new, ratio, gated, ok in rows:
+        if not gated:
+            verdict = "info only"
+        elif ok:
+            verdict = "✅ pass"
+        else:
+            verdict = "❌ FAIL"
+        lines.append(
+            f"| {section} | {old:,.1f} | {new:,.1f} | {ratio:.2f}x | {verdict} |")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=pathlib.Path, required=True,
+                        help="committed BENCH_engine.json snapshot")
+    parser.add_argument("--current", type=pathlib.Path, required=True,
+                        help="freshly generated BENCH_engine.json")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="max allowed fractional drop (default 0.30)")
+    parser.add_argument("--summary", type=pathlib.Path, default=None,
+                        help="file to append the markdown table to "
+                             "(e.g. $GITHUB_STEP_SUMMARY)")
+    args = parser.parse_args(argv)
+
+    if not 0.0 < args.threshold < 1.0:
+        parser.error(f"--threshold must be in (0, 1), got {args.threshold}")
+
+    baseline = json.loads(args.baseline.read_text())
+    current = json.loads(args.current.read_text())
+    rows, failures = compare(baseline, current, threshold=args.threshold)
+
+    markdown = render_markdown(rows, args.threshold)
+    print(markdown)
+    if args.summary is not None:
+        with open(args.summary, "a") as handle:
+            handle.write(markdown)
+
+    if failures:
+        for failure in failures:
+            print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+        return 2
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,6 @@ compliance checks.
 Run with:  python examples/census_audit.py
 """
 
-import numpy as np
 
 from repro.baselines import (
     CEMExplainer,

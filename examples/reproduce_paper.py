@@ -12,7 +12,6 @@ import pathlib
 import sys
 import time
 
-import numpy as np
 
 from repro.core import FeasibleCFExplainer, paper_config
 from repro.experiments import (

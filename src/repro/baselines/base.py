@@ -14,7 +14,7 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 from ..constraints import ImmutableProjector
-from ..utils.validation import check_2d
+from ..utils.validation import check_encoded_rows
 
 __all__ = ["BaseCFExplainer"]
 
@@ -43,10 +43,14 @@ class BaseCFExplainer(ABC):
         self.projector = ImmutableProjector(encoder)
         self._fitted = False
 
+    def _check_rows(self, x, name):
+        """2-D + schema-width validation against the training encoder."""
+        return check_encoded_rows(x, self.encoder, name)
+
     # -- lifecycle ---------------------------------------------------------
     def fit(self, x_train, y_train=None):
         """Fit method-specific machinery (default: record the data)."""
-        x_train = check_2d(x_train, "x_train")
+        x_train = self._check_rows(x_train, "x_train")
         self._fit(x_train, y_train)
         self._fitted = True
         return self
@@ -62,7 +66,7 @@ class BaseCFExplainer(ABC):
         """
         if not self._fitted:
             raise RuntimeError(f"{self.name} is not fitted; call fit() first")
-        x = check_2d(x, "x")
+        x = self._check_rows(x, "x")
         if desired is None:
             desired = 1 - self.blackbox.predict(x)
         else:

@@ -19,7 +19,7 @@ import numpy as np
 
 from ..constraints import ConstraintSet, ImmutableProjector, build_constraints
 from ..models import BlackBoxClassifier, ConditionalVAE, train_classifier
-from ..utils.validation import check_2d, check_binary_labels
+from ..utils.validation import check_binary_labels, check_encoded_rows
 from .config import CFTrainingConfig
 from .generator import CFVAEGenerator
 from .result import CFBatchResult
@@ -69,6 +69,27 @@ class FeasibleCFExplainer:
         self.projector = ImmutableProjector(encoder)
         self.generator = None
 
+    @classmethod
+    def from_trained(cls, encoder, blackbox, vae, constraint_kind="unary",
+                     config=None, seed=0):
+        """Assemble a ready-to-explain pipeline from trained components.
+
+        The warm-start twin of ``__init__`` + :meth:`fit`: both models
+        arrive already trained (e.g. restored from an artifact store), so
+        no training pass runs.  The returned explainer produces outputs
+        identical to the instance that trained the weights.
+        """
+        explainer = cls(encoder, constraint_kind=constraint_kind, config=config,
+                        blackbox=blackbox, seed=seed)
+        explainer.generator = CFVAEGenerator.from_trained(
+            vae, blackbox, explainer.constraints, explainer.projector,
+            explainer.config, rng=np.random.default_rng(explainer.seed + 4))
+        return explainer
+
+    def _check_rows(self, x, name):
+        """2-D + schema-width validation against the training encoder."""
+        return check_encoded_rows(x, self.encoder, name)
+
     # -- training -----------------------------------------------------------
     def fit(self, x_train, y_train, blackbox_epochs=30, balanced=True,
             verbose=False):
@@ -87,7 +108,7 @@ class FeasibleCFExplainer:
             Class-balance the classifier loss (recommended: the benchmark
             datasets are skewed toward the undesired class).
         """
-        x_train = check_2d(x_train, "x_train")
+        x_train = self._check_rows(x_train, "x_train")
         y_train = check_binary_labels(y_train, "y_train")
 
         if self.blackbox is None:
@@ -122,7 +143,7 @@ class FeasibleCFExplainer:
         """
         if self.generator is None:
             raise RuntimeError("explainer is not fitted; call fit() first")
-        x = check_2d(x, "x")
+        x = self._check_rows(x, "x")
         if desired is None:
             desired = 1 - self.blackbox.predict(x)
         else:

@@ -50,6 +50,20 @@ class CFVAEGenerator:
         self.history = []
         self._fitted = False
 
+    @classmethod
+    def from_trained(cls, vae, blackbox, constraints, projector, config, rng=None):
+        """Wrap an already-trained VAE as a ready-to-generate generator.
+
+        The warm-start entry point for the serving layer: weights come
+        from an artifact store, so no :meth:`fit` call happens.  The
+        generator starts in eval mode and :meth:`generate` works
+        immediately.
+        """
+        generator = cls(vae, blackbox, constraints, projector, config, rng=rng)
+        generator.vae.eval()
+        generator._fitted = True
+        return generator
+
     # -- helpers -----------------------------------------------------------
     def _desired_classes(self, x, desired):
         """Default desired class: the opposite of the black-box prediction."""

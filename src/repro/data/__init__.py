@@ -10,7 +10,13 @@ from .frame import TabularFrame
 from .kdd_census import KDD_EDUCATION_LEVELS, KDD_SCHEMA, generate_kdd_census
 from .law_school import LAW_SCHEMA, generate_law_school
 from .preprocess import TabularEncoder, clean
-from .registry import PAPER_SIZES, DatasetBundle, dataset_names, load_dataset
+from .registry import (
+    PAPER_SIZES,
+    DatasetBundle,
+    dataset_names,
+    dataset_schema,
+    load_dataset,
+)
 from .schema import DatasetSchema, FeatureSpec, FeatureType
 from .splits import train_val_test_split
 
@@ -20,5 +26,6 @@ __all__ = [
     "KDD_SCHEMA", "KDD_EDUCATION_LEVELS", "generate_kdd_census",
     "LAW_SCHEMA", "generate_law_school",
     "TabularEncoder", "clean", "train_val_test_split",
-    "DatasetBundle", "load_dataset", "dataset_names", "PAPER_SIZES",
+    "DatasetBundle", "load_dataset", "dataset_names", "dataset_schema",
+    "PAPER_SIZES",
 ]

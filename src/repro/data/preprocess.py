@@ -121,6 +121,46 @@ class TabularEncoder:
         """Shorthand for ``fit(frame).transform(frame)``."""
         return self.fit(frame).transform(frame)
 
+    # -- fitted-state persistence ---------------------------------------------
+    def get_state(self):
+        """JSON-serialisable fitted state (schema name + continuous ranges).
+
+        Together with the schema (a code-level constant looked up by
+        name), this is everything a fresh process needs to rebuild the
+        encoder without touching the training data — the serving layer's
+        artifact manifests persist exactly this dict.
+        """
+        self._require_fitted()
+        return {
+            "schema": self.schema.name,
+            "n_encoded": int(self.n_encoded),
+            "ranges": {name: [float(low), float(high)]
+                       for name, (low, high) in self._ranges.items()},
+        }
+
+    @classmethod
+    def from_state(cls, schema, state):
+        """Rebuild a fitted encoder from :meth:`get_state` output."""
+        if state.get("schema") != schema.name:
+            raise ValueError(
+                f"encoder state is for schema {state.get('schema')!r}, "
+                f"not {schema.name!r}")
+        encoder = cls(schema)
+        if int(state["n_encoded"]) != encoder.n_encoded:
+            raise ValueError(
+                f"encoder state has n_encoded={state['n_encoded']} but the "
+                f"current {schema.name!r} schema encodes {encoder.n_encoded} "
+                f"columns; the schema changed since the state was saved")
+        ranges = {name: (float(low), float(high))
+                  for name, (low, high) in state["ranges"].items()}
+        missing = {spec.name for spec in schema.continuous} - set(ranges)
+        if missing:
+            raise ValueError(
+                f"encoder state is missing ranges for {sorted(missing)}")
+        encoder._ranges = ranges
+        encoder._fitted = True
+        return encoder
+
     # -- inverse -------------------------------------------------------------
     def inverse_transform(self, matrix):
         """Decode an encoded matrix back into a :class:`TabularFrame`.

@@ -9,7 +9,7 @@ pipeline the full experiments use.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -19,7 +19,8 @@ from .law_school import LAW_SCHEMA, generate_law_school
 from .preprocess import TabularEncoder, clean
 from .splits import train_val_test_split
 
-__all__ = ["DatasetBundle", "load_dataset", "dataset_names", "PAPER_SIZES"]
+__all__ = ["DatasetBundle", "load_dataset", "dataset_names", "dataset_schema",
+           "PAPER_SIZES"]
 
 _GENERATORS = {
     "adult": (ADULT_SCHEMA, generate_adult),
@@ -34,6 +35,17 @@ PAPER_SIZES = {"adult": 48_842, "kdd_census": 299_285, "law_school": 20_798}
 def dataset_names():
     """Names accepted by :func:`load_dataset`."""
     return tuple(_GENERATORS)
+
+
+def dataset_schema(name):
+    """Schema of a registered dataset, without generating any data.
+
+    The serving layer uses this to rebuild encoders and constraint sets
+    from an artifact manifest in a fresh process.
+    """
+    if name not in _GENERATORS:
+        raise KeyError(f"unknown dataset {name!r}; options: {sorted(_GENERATORS)}")
+    return _GENERATORS[name][0]
 
 
 @dataclass

@@ -9,7 +9,7 @@ encoder, the constraint catalog and the explainers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 
 __all__ = ["FeatureType", "FeatureSpec", "DatasetSchema"]

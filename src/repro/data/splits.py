@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 
 __all__ = ["train_val_test_split"]
 

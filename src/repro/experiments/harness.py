@@ -21,9 +21,8 @@ from ..baselines import (
     ReviseExplainer,
 )
 from ..core import FeasibleCFExplainer, paper_config
-from ..data import load_dataset
 from ..metrics import ProximityStats, evaluate_counterfactuals
-from ..models import BlackBoxClassifier, accuracy, train_classifier
+from ..models import accuracy
 from .runconfig import get_scale
 
 __all__ = ["ExperimentContext", "prepare_context", "run_method", "run_table4",
@@ -58,23 +57,36 @@ class ExperimentContext:
         return self.bundle.name
 
 
-def prepare_context(dataset, scale="fast", seed=0):
+def prepare_context(dataset, scale="fast", seed=0, store=None,
+                    constraint_kind="unary"):
     """Load data, train the shared black-box, pick the rows to explain.
 
     The explained rows are test-split instances the classifier assigns to
     the undesired class (the loan-denied population of the paper's
     motivating example), capped at ``scale.n_explain``.
+
+    The build/train code itself lives in :mod:`repro.serve.pipeline` and
+    is shared with the serving path; this function is a thin wrapper that
+    adds the experiment-specific state (proximity stats, explain rows).
+    With ``store`` (a :class:`repro.serve.ArtifactStore`) the shared
+    black-box warm-starts from a fresh artifact instead of retraining —
+    a stale or missing artifact is trained and saved transparently.
     """
+    # Imported lazily: repro.serve imports this package for get_scale.
+    from ..serve.pipeline import load_bundle, train_shared_blackbox
+
     scale = get_scale(scale)
-    bundle = load_dataset(dataset, n_instances=scale.instances_for(dataset),
-                          seed=seed)
+    bundle = load_bundle(dataset, scale=scale, seed=seed)
     x_train, y_train = bundle.split("train")
     x_test, y_test = bundle.split("test")
 
-    blackbox = BlackBoxClassifier(
-        bundle.encoder.n_encoded, np.random.default_rng(seed + 10))
-    train_classifier(blackbox, x_train, y_train, epochs=scale.blackbox_epochs,
-                     rng=np.random.default_rng(seed + 11), balanced=True)
+    if store is None:
+        blackbox = train_shared_blackbox(bundle, scale.blackbox_epochs, seed)
+    else:
+        pipeline, _ = store.ensure(
+            dataset, scale=scale, seed=seed, constraint_kind=constraint_kind,
+            bundle=bundle)
+        blackbox = pipeline.blackbox
 
     undesired = bundle.schema.desired_class ^ 1
     explain_mask = blackbox.predict(x_test) == undesired

@@ -12,6 +12,11 @@ about ("as fast as the hardware allows"):
 * **candidates** — the density sweep's ``generate_candidates`` (latent
   perturbation, batched decode, black-box validity, constraint
   feasibility), in input rows/sec and decoded candidates/sec.
+* **serve** — cold-start (train + persist + answer a batch) vs
+  warm-start (load the artifact store + answer the same batch) through
+  :class:`repro.serve.ExplanationService`, plus the cache-hit replay
+  rate.  Warm-start outputs are asserted bit-identical to the cold
+  pipeline before any number is reported.
 
 The workload is fixed per scale so numbers are comparable across
 commits; ``PRE_PR_BASELINE`` pins the numbers measured with this exact
@@ -51,6 +56,7 @@ PERF_SCALES = {
         "candidate_rows": 32,
         "n_candidates": 16,
         "cf_epochs": 3,
+        "serve_rows": 64,
         "min_seconds": 1.0,
     },
     "full": {
@@ -62,6 +68,7 @@ PERF_SCALES = {
         "candidate_rows": 96,
         "n_candidates": 24,
         "cf_epochs": 6,
+        "serve_rows": 256,
         "min_seconds": 1.5,
     },
 }
@@ -107,11 +114,12 @@ def _throughput(fn, rows_per_call, min_seconds, chunks=5, min_calls=3):
 def _float32_predict_rate(blackbox, batch, min_seconds, seed):
     """Predict throughput in the float32 fast mode (None if unsupported).
 
-    Clones the trained classifier into float32 parameters (copied layer
-    by layer — ``state_dict`` is empty once ``FourPartLoss`` froze the
-    model) and feeds it a float32 batch, i.e. the recommended serving
-    configuration.  Returns ``None`` on engines without a dtype mode so
-    the harness also runs against the pre-fast-path code.
+    Clones the trained classifier into float32 parameters
+    (``load_state_dict`` casts to the target dtype, and ``state_dict``
+    includes frozen parameters) and feeds it a float32 batch, i.e. the
+    recommended serving configuration.  Returns ``None`` on engines
+    without a dtype mode so the harness also runs against the
+    pre-fast-path code.
     """
     try:
         from ..nn import dtype_scope
@@ -122,10 +130,7 @@ def _float32_predict_rate(blackbox, batch, min_seconds, seed):
     with dtype_scope("float32"):
         fast = _BlackBox(blackbox.n_features, np.random.default_rng(seed),
                          hidden=blackbox.hidden)
-    for fast_layer, src_layer in zip(fast.network.layers, blackbox.network.layers):
-        if hasattr(src_layer, "weight"):
-            fast_layer.weight.data = src_layer.weight.data.astype(np.float32)
-            fast_layer.bias.data = src_layer.bias.data.astype(np.float32)
+    fast.load_state_dict(blackbox.state_dict())
     fast.eval()
     batch32 = batch.astype(np.float32)
     disagree = fast.predict(batch32) != blackbox.predict(batch)
@@ -137,6 +142,58 @@ def _float32_predict_rate(blackbox, batch, min_seconds, seed):
 
     rate, _ = _throughput(predict_once, len(batch32), min_seconds)
     return rate
+
+
+def _serve_section(spec, seed):
+    """Time cold-start vs warm-start serving on the bench workload.
+
+    Cold start = train the full pipeline, persist it to an artifact
+    store and answer one ``serve_rows`` batch (what a process without an
+    artifact must do).  Warm start = rebuild the service from the store
+    and answer the same batch.  The cache-hit replay answers it a second
+    time from the LRU cache.
+    """
+    import tempfile
+
+    from ..serve import ArtifactStore, ExplanationService, train_pipeline
+    from .runconfig import ExperimentScale
+
+    scale = ExperimentScale(
+        "perfbench", spec["n_instances"], spec["serve_rows"],
+        spec["train_epochs"])
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ArtifactStore(tmp)
+
+        start = time.perf_counter()
+        pipeline = train_pipeline(
+            "adult", scale=scale, seed=seed,
+            config=fast_config(epochs=spec["cf_epochs"]))
+        store.save(pipeline, name="bench")
+        x_test, _ = pipeline.bundle.split("test")
+        rows = x_test[:spec["serve_rows"]]
+        cold_result = ExplanationService(pipeline, cache_size=0).explain_batch(rows)
+        cold_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        service = ExplanationService.warm_start(store, "bench")
+        warm_result = service.explain_batch(rows)
+        warm_seconds = time.perf_counter() - start
+        if not np.array_equal(cold_result.x_cf, warm_result.x_cf):
+            raise AssertionError(
+                "warm-start counterfactuals diverge from the cold pipeline")
+
+        start = time.perf_counter()
+        service.explain_batch(rows)
+        cached_seconds = max(time.perf_counter() - start, 1e-9)
+
+    return {
+        "rows": len(rows),
+        "cold_start_seconds": round(cold_seconds, 4),
+        "warm_start_seconds": round(warm_seconds, 4),
+        "speedup_cold_vs_warm": round(cold_seconds / warm_seconds, 1),
+        "warm_rows_per_sec": round(len(rows) / warm_seconds, 1),
+        "cache_hit_rows_per_sec": round(len(rows) / cached_seconds, 1),
+    }
 
 
 def run_perfbench(scale="smoke", seed=0):
@@ -220,6 +277,7 @@ def run_perfbench(scale="smoke", seed=0):
             "n_candidates": spec["n_candidates"],
             "calls": candidate_calls,
         },
+        "serve": _serve_section(spec, seed),
     }
     if scale == PRE_PR_BASELINE["scale"]:
         results["pre_pr_baseline"] = dict(PRE_PR_BASELINE)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..nn import Adam, bce_with_logits, gaussian_kl, mse_loss
+from ..nn import Adam, gaussian_kl, mse_loss
 from ..utils.validation import check_2d
 
 __all__ = ["train_reconstruction_vae"]

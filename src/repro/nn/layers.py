@@ -49,18 +49,26 @@ class Module:
             return self.forward(as_tensor(x)).data
 
     # -- parameter / child discovery ----------------------------------
-    def named_parameters(self, prefix=""):
-        """Yield ``(name, tensor)`` pairs for every trainable parameter."""
+    def named_parameters(self, prefix="", include_frozen=False):
+        """Yield ``(name, tensor)`` pairs for every trainable parameter.
+
+        With ``include_frozen=True`` parameters whose ``requires_grad``
+        was switched off (e.g. a classifier frozen inside a loss) are
+        yielded too — serialisation must see the full parameter set even
+        when the optimiser must not.
+        """
         for attr, value in vars(self).items():
             name = f"{prefix}{attr}"
-            if isinstance(value, Tensor) and value.requires_grad:
+            if isinstance(value, Tensor) and (value.requires_grad or include_frozen):
                 yield name, value
             elif isinstance(value, Module):
-                yield from value.named_parameters(prefix=f"{name}.")
+                yield from value.named_parameters(
+                    prefix=f"{name}.", include_frozen=include_frozen)
             elif isinstance(value, (list, tuple)):
                 for index, item in enumerate(value):
                     if isinstance(item, Module):
-                        yield from item.named_parameters(prefix=f"{name}.{index}.")
+                        yield from item.named_parameters(
+                            prefix=f"{name}.{index}.", include_frozen=include_frozen)
 
     def parameters(self):
         """Return the list of trainable parameter tensors."""
@@ -102,21 +110,24 @@ class Module:
 
     # -- serialisation ----------------------------------------------------
     def state_dict(self):
-        """Return a name -> ndarray copy of all parameters."""
-        return {name: tensor.data.copy() for name, tensor in self.named_parameters()}
+        """Return a name -> ndarray copy of all parameters (incl. frozen)."""
+        return {name: tensor.data.copy()
+                for name, tensor in self.named_parameters(include_frozen=True)}
 
     def load_state_dict(self, state):
         """Load parameters from :meth:`state_dict` output (strict by name)."""
-        parameters = dict(self.named_parameters())
+        parameters = dict(self.named_parameters(include_frozen=True))
         missing = set(parameters) - set(state)
         unexpected = set(state) - set(parameters)
         if missing or unexpected:
-            raise KeyError(f"state mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
+            raise KeyError(f"state mismatch: missing={sorted(missing)}, "
+                           f"unexpected={sorted(unexpected)}")
         for name, value in state.items():
             target = parameters[name]
             value = np.asarray(value, dtype=target.data.dtype)
             if value.shape != target.data.shape:
-                raise ValueError(f"shape mismatch for {name}: {value.shape} vs {target.data.shape}")
+                raise ValueError(
+                    f"shape mismatch for {name}: {value.shape} vs {target.data.shape}")
             target.data = value.copy()
 
 

@@ -1,0 +1,44 @@
+"""Persistent explanation serving: artifact store + warm-start service.
+
+Turns the one-shot paper pipeline (train -> explain -> exit) into a
+servable system:
+
+* :mod:`repro.serve.pipeline` -- the shared build/train code both the
+  experiment harness and the serving path use (``train_pipeline``).
+* :mod:`repro.serve.store` -- :class:`ArtifactStore`, versioned on-disk
+  persistence of trained pipelines with fingerprinted manifests.
+* :mod:`repro.serve.service` -- :class:`ExplanationService`, warm-start
+  batch serving with an LRU result cache and single-row micro-batching.
+* :mod:`repro.serve.cache` -- the LRU cache primitive.
+"""
+
+from .cache import LRUResultCache
+from .pipeline import (
+    TrainedPipeline,
+    load_bundle,
+    pipeline_fingerprint,
+    train_pipeline,
+    train_shared_blackbox,
+)
+from .service import ExplainTicket, ExplanationService
+from .store import (
+    ARTIFACT_FORMAT_VERSION,
+    ArtifactError,
+    ArtifactStore,
+    StaleArtifactError,
+)
+
+__all__ = [
+    "ARTIFACT_FORMAT_VERSION",
+    "ArtifactError",
+    "ArtifactStore",
+    "ExplainTicket",
+    "ExplanationService",
+    "LRUResultCache",
+    "StaleArtifactError",
+    "TrainedPipeline",
+    "load_bundle",
+    "pipeline_fingerprint",
+    "train_pipeline",
+    "train_shared_blackbox",
+]

@@ -1,0 +1,80 @@
+"""In-memory LRU cache for served explanation results.
+
+The serving layer answers heavy repeated traffic over a fixed dataset, so
+many requests are literal repeats of rows already explained.  The cache
+stores one entry per (encoded row, desired class, pipeline fingerprint)
+key; keying on the fingerprint automatically invalidates every entry when
+the underlying artifact changes, so no explicit flush is needed on reload.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+__all__ = ["LRUResultCache"]
+
+
+class LRUResultCache:
+    """Bounded least-recently-used mapping with hit/miss accounting.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries; ``0`` disables caching entirely (every
+        lookup misses, nothing is stored).
+    """
+
+    def __init__(self, capacity=4096):
+        capacity = int(capacity)
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries = OrderedDict()
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, key):
+        return key in self._entries
+
+    def get(self, key):
+        """Return the cached value for ``key`` or ``None``, updating stats.
+
+        A hit moves the entry to the most-recently-used position.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key, value):
+        """Insert ``value`` under ``key``, evicting the LRU entry if full."""
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self):
+        """Drop every entry (statistics are kept)."""
+        self._entries.clear()
+
+    @property
+    def stats(self):
+        """Counters dict: size, capacity, hits, misses, evictions."""
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

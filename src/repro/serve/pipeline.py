@@ -1,0 +1,194 @@
+"""Shared build/train code for the one-shot and serving paths.
+
+Before the serving layer existed, the experiment harness and every
+example trained its own black-box and CF-VAE inline.  This module is the
+single place that builds a full trained pipeline now: the harness's
+``prepare_context``, the CLI's ``serve-demo`` and the artifact store all
+call the same functions, so the one-shot paper-reproduction path and the
+warm-start serving path cannot drift apart.
+
+The RNG seeding discipline is load-bearing: :func:`train_shared_blackbox`
+uses the exact streams the harness always used (``seed + 10`` for init,
+``seed + 11`` for training), so a pipeline trained here is bit-identical
+to one trained by the pre-serving code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from ..core import FeasibleCFExplainer, paper_config
+from ..data import load_dataset
+from ..experiments.runconfig import get_scale
+from ..models import BlackBoxClassifier, accuracy, train_classifier
+
+__all__ = [
+    "TrainedPipeline",
+    "load_bundle",
+    "pipeline_fingerprint",
+    "train_pipeline",
+    "train_shared_blackbox",
+]
+
+
+def load_bundle(dataset, scale="fast", seed=0):
+    """Load a dataset at the row count a named experiment scale implies."""
+    scale = get_scale(scale)
+    return load_dataset(dataset, n_instances=scale.instances_for(dataset), seed=seed)
+
+
+def train_shared_blackbox(bundle, epochs, seed):
+    """Train the shared black-box classifier on a bundle's train split.
+
+    Identical streams to the historical ``prepare_context`` inline code:
+    ``seed + 10`` seeds the weight init, ``seed + 11`` the batching.
+    """
+    x_train, y_train = bundle.split("train")
+    blackbox = BlackBoxClassifier(bundle.encoder.n_encoded, np.random.default_rng(seed + 10))
+    train_classifier(
+        blackbox,
+        x_train,
+        y_train,
+        epochs=epochs,
+        rng=np.random.default_rng(seed + 11),
+        balanced=True,
+    )
+    return blackbox
+
+
+@dataclass
+class TrainedPipeline:
+    """A fully trained explanation pipeline plus its provenance.
+
+    ``bundle`` is ``None`` when the pipeline was warm-started from an
+    artifact store (the store persists models, never data); everything a
+    serving process needs lives on ``explainer``.
+    """
+
+    explainer: FeasibleCFExplainer
+    dataset: str
+    n_instances: int
+    seed: int
+    constraint_kind: str
+    blackbox_epochs: int
+    blackbox_accuracy: float
+    bundle: object = None
+
+    @property
+    def blackbox(self):
+        """The trained black-box classifier."""
+        return self.explainer.blackbox
+
+    @property
+    def encoder(self):
+        """The fitted tabular encoder."""
+        return self.explainer.encoder
+
+    @property
+    def config(self):
+        """The CF-VAE training configuration."""
+        return self.explainer.config
+
+    @property
+    def fingerprint(self):
+        """Dataset + config + schema fingerprint of this pipeline."""
+        return pipeline_fingerprint(
+            self.dataset,
+            self.n_instances,
+            self.seed,
+            self.constraint_kind,
+            self.config,
+            self.encoder.schema,
+            self.blackbox_epochs,
+        )
+
+
+def pipeline_fingerprint(
+    dataset,
+    n_instances,
+    seed,
+    constraint_kind,
+    config,
+    schema,
+    blackbox_epochs,
+):
+    """Deterministic hash of everything that shapes a trained pipeline.
+
+    Covers the dataset identity and size, the root seed, the constraint
+    kind, every training hyperparameter of both stages (the CF-VAE config
+    and the black-box epoch count) and the full feature schema.  Two
+    pipelines agree on this hash exactly when retraining one would
+    reproduce the other, which is what lets the artifact store reject a
+    stale artifact instead of silently serving it.
+    """
+    features = [
+        [
+            spec.name,
+            spec.ftype.value,
+            list(spec.categories),
+            [float(bound) for bound in spec.bounds],
+            bool(spec.immutable),
+        ]
+        for spec in schema.features
+    ]
+    payload = {
+        "dataset": str(dataset),
+        "n_instances": int(n_instances),
+        "seed": int(seed),
+        "constraint_kind": str(constraint_kind),
+        "config": asdict(config),
+        "blackbox_epochs": int(blackbox_epochs),
+        "features": features,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def train_pipeline(
+    dataset,
+    scale="fast",
+    seed=0,
+    constraint_kind="unary",
+    config=None,
+    bundle=None,
+    verbose=False,
+):
+    """Train a full pipeline: data -> black-box -> CF-VAE.
+
+    This is the cold-start path.  Pass ``bundle`` to reuse an
+    already-loaded dataset (the harness does); otherwise the dataset is
+    loaded at the given scale.  ``config`` defaults to the paper's
+    Table III setting for ``(dataset, constraint_kind)``.
+    """
+    scale = get_scale(scale)
+    if bundle is None:
+        bundle = load_bundle(dataset, scale=scale, seed=seed)
+    if config is None:
+        config = paper_config(dataset, constraint_kind)
+
+    blackbox = train_shared_blackbox(bundle, scale.blackbox_epochs, seed)
+    explainer = FeasibleCFExplainer(
+        bundle.encoder,
+        constraint_kind=constraint_kind,
+        config=config,
+        blackbox=blackbox,
+        seed=seed,
+    )
+    x_train, y_train = bundle.split("train")
+    explainer.fit(x_train, y_train, verbose=verbose)
+
+    x_test, y_test = bundle.split("test")
+    return TrainedPipeline(
+        explainer=explainer,
+        dataset=bundle.name,
+        n_instances=scale.instances_for(dataset),
+        seed=seed,
+        constraint_kind=constraint_kind,
+        blackbox_epochs=scale.blackbox_epochs,
+        blackbox_accuracy=accuracy(blackbox, x_test, y_test),
+        bundle=bundle,
+    )

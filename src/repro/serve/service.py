@@ -1,0 +1,256 @@
+"""Warm-start batch serving for counterfactual explanations.
+
+:class:`ExplanationService` is the request-facing entry point of the
+serving subsystem: it wraps a trained pipeline (freshly trained or
+rebuilt from an :class:`~repro.serve.store.ArtifactStore`), answers
+``explain_batch`` requests through the graph-free fast path, memoises
+per-row results in an LRU cache keyed on the pipeline fingerprint, and
+coalesces queued single-row requests into one vectorized
+``generate_candidates`` sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.result import CFBatchResult
+from ..core.selection import generate_candidates
+from ..utils.validation import check_encoded_rows
+from .cache import LRUResultCache
+
+__all__ = ["ExplainTicket", "ExplanationService"]
+
+
+class ExplainTicket:
+    """Pending single-row explanation, resolved by the next flush.
+
+    Attributes
+    ----------
+    row:
+        The encoded input row, shape (d,).
+    desired:
+        Requested target class, or ``None`` for "flip the prediction".
+    """
+
+    def __init__(self, row, desired):
+        self.row = row
+        self.desired = desired
+        self._result = None
+
+    @property
+    def ready(self):
+        """Whether the owning service has flushed this ticket."""
+        return self._result is not None
+
+    def result(self):
+        """The resolved result dict; raises until the service flushes."""
+        if self._result is None:
+            raise RuntimeError("ticket is not resolved; call service.flush()")
+        return self._result
+
+
+class ExplanationService:
+    """Serve batched counterfactual explanations from a trained pipeline.
+
+    Parameters
+    ----------
+    pipeline:
+        A :class:`~repro.serve.pipeline.TrainedPipeline` (cold-trained or
+        loaded from a store).
+    cache_size:
+        LRU result-cache capacity in rows; ``0`` disables caching.
+    """
+
+    def __init__(self, pipeline, cache_size=4096):
+        self.pipeline = pipeline
+        self.explainer = pipeline.explainer
+        self.fingerprint = pipeline.fingerprint
+        self.cache = LRUResultCache(cache_size)
+        self._pending = []
+        self.batches_served = 0
+        self.rows_served = 0
+        self.flushes = 0
+        self.rows_coalesced = 0
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def warm_start(cls, store, name, expected_fingerprint=None, cache_size=4096):
+        """Build a service from a stored artifact without any training.
+
+        Raises the store's ``ArtifactError``/``StaleArtifactError`` when
+        the artifact is missing, corrupted or stale.
+        """
+        pipeline = store.load(name, expected_fingerprint=expected_fingerprint)
+        return cls(pipeline, cache_size=cache_size)
+
+    @property
+    def encoder(self):
+        """The pipeline's fitted tabular encoder."""
+        return self.explainer.encoder
+
+    @property
+    def dataset(self):
+        """Name of the dataset the pipeline was trained on."""
+        return self.pipeline.dataset
+
+    # -- validation ----------------------------------------------------------
+    def _check_rows(self, rows, name="rows"):
+        """Validate a request matrix against the trained schema."""
+        return check_encoded_rows(rows, self.encoder, name)
+
+    def _resolve_desired(self, rows, desired):
+        if desired is None:
+            return 1 - self.explainer.blackbox.predict(rows)
+        desired = np.asarray(desired, dtype=int).reshape(-1)
+        if len(desired) != len(rows):
+            raise ValueError(f"desired ({len(desired)}) and rows ({len(rows)}) counts differ")
+        return desired
+
+    def _key(self, row, desired):
+        return (row.tobytes(), int(desired), self.fingerprint)
+
+    # -- batch serving -------------------------------------------------------
+    def explain_batch(self, rows, desired=None):
+        """Explain many rows at once; returns a :class:`CFBatchResult`.
+
+        Rows already in the cache are answered from memory; the remaining
+        rows are coalesced into a single vectorized pass through the
+        generator (one decode, one validity call, one feasibility call),
+        exactly the one-shot ``FeasibleCFExplainer.explain`` computation.
+        """
+        rows = self._check_rows(rows)
+        desired = self._resolve_desired(rows, desired)
+
+        n_rows, width = rows.shape
+        x_cf = np.empty((n_rows, width))
+        predicted = np.empty(n_rows, dtype=int)
+        feasible = np.empty(n_rows, dtype=bool)
+
+        miss_indices = []
+        for i in range(n_rows):
+            entry = self.cache.get(self._key(rows[i], desired[i]))
+            if entry is None:
+                miss_indices.append(i)
+            else:
+                x_cf[i], predicted[i], feasible[i] = entry
+
+        if miss_indices:
+            miss = np.asarray(miss_indices)
+            sub_rows = rows[miss]
+            sub_desired = desired[miss]
+            generator = self.explainer.generator
+            sub_cf = generator.generate(sub_rows, sub_desired)
+            sub_predicted = self.explainer.blackbox.predict(sub_cf)
+            sub_feasible = self.explainer.constraints.satisfied(sub_rows, sub_cf)
+            x_cf[miss] = sub_cf
+            predicted[miss] = sub_predicted
+            feasible[miss] = sub_feasible
+            for j, i in enumerate(miss_indices):
+                # .copy(): caching a view would pin the whole batch array
+                # in memory until every one of its rows was evicted
+                self.cache.put(
+                    self._key(rows[i], desired[i]),
+                    (sub_cf[j].copy(), int(sub_predicted[j]), bool(sub_feasible[j])),
+                )
+
+        self.batches_served += 1
+        self.rows_served += n_rows
+        return CFBatchResult(
+            x=rows,
+            x_cf=x_cf,
+            desired=desired,
+            predicted=predicted,
+            valid=predicted == desired,
+            feasible=feasible,
+            encoder=self.encoder,
+        )
+
+    # -- micro-batched single-row serving -------------------------------------
+    def submit(self, row, desired=None):
+        """Queue one row for the next flush; returns an :class:`ExplainTicket`.
+
+        Single-row traffic is the worst case for a vectorized engine, so
+        the service does not answer immediately: queued tickets are
+        resolved together by :meth:`flush` through ONE
+        ``generate_candidates`` call covering every pending row.
+        """
+        row = np.asarray(row, dtype=np.float64).reshape(-1)
+        check_encoded_rows(row.reshape(1, -1), self.encoder, "row")
+        ticket = ExplainTicket(row, desired)
+        self._pending.append(ticket)
+        return ticket
+
+    @property
+    def pending(self):
+        """Number of tickets waiting for a flush."""
+        return len(self._pending)
+
+    def flush(self, n_candidates=8, rng=None):
+        """Resolve every pending ticket with one vectorized candidate sweep.
+
+        Stacks all queued rows, runs a single
+        :func:`~repro.core.selection.generate_candidates` call (batched
+        decode + one validity call + one feasibility call) and picks, per
+        ticket, the closest candidate by L1 distance among valid &
+        feasible ones (falling back to valid-only, then to the
+        deterministic candidate).  Returns the resolved tickets.
+        """
+        if not self._pending:
+            return []
+        tickets = self._pending
+        self._pending = []
+
+        rows = np.stack([ticket.row for ticket in tickets])
+        raw = [-1 if ticket.desired is None else int(ticket.desired) for ticket in tickets]
+        desired = np.asarray(raw)
+        if np.any(desired < 0):
+            flipped = 1 - self.explainer.blackbox.predict(rows)
+            desired = np.where(desired < 0, flipped, desired)
+
+        candidate_sets = generate_candidates(
+            self.explainer,
+            rows,
+            n_candidates=n_candidates,
+            desired=desired,
+            rng=rng,
+        )
+        for ticket, candidate_set, target in zip(tickets, candidate_sets, desired):
+            index = _pick_candidate(candidate_set)
+            ticket._result = {
+                "x_cf": candidate_set.candidates[index],
+                "desired": int(target),
+                "valid": bool(candidate_set.valid[index]),
+                "feasible": bool(candidate_set.feasible[index]),
+                "chosen": index,
+                "n_usable": int(candidate_set.usable_mask.sum()),
+            }
+        self.flushes += 1
+        self.rows_coalesced += len(tickets)
+        return tickets
+
+    # -- introspection --------------------------------------------------------
+    @property
+    def stats(self):
+        """Serving + cache counters for dashboards and tests."""
+        counters = {
+            "batches_served": self.batches_served,
+            "rows_served": self.rows_served,
+            "flushes": self.flushes,
+            "rows_coalesced": self.rows_coalesced,
+        }
+        counters.update({f"cache_{k}": v for k, v in self.cache.stats.items()})
+        return counters
+
+
+def _pick_candidate(candidate_set):
+    """Closest-by-L1 candidate, preferring valid & feasible, then valid.
+
+    Index 0 is the deterministic (zero-noise) decode, so the final
+    fallback degrades to exactly the one-shot explain output.
+    """
+    distances = np.abs(candidate_set.candidates - candidate_set.x[None, :]).sum(axis=1)
+    for mask in (candidate_set.usable_mask, candidate_set.valid):
+        if mask.any():
+            pool = np.flatnonzero(mask)
+            return int(pool[np.argmin(distances[pool])])
+    return 0

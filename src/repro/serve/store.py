@@ -1,0 +1,310 @@
+"""Versioned on-disk store for trained explanation pipelines.
+
+One artifact = one directory holding the trained black-box weights, the
+CF-VAE weights and a ``manifest.json`` with everything needed to rebuild
+the pipeline in a fresh process: the encoder's fitted state, the training
+configuration, provenance (dataset, size, seed, constraint kind) and a
+fingerprint over all of it.
+
+Staleness is a first-class failure: loading re-derives the fingerprint
+from the manifest against the *current* code's schema and rejects the
+artifact (``StaleArtifactError``) when the schema, config or format
+version has drifted since training, instead of silently serving outputs
+from an incompatible model.  File corruption is caught by per-file
+SHA-256 checksums recorded in the manifest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import time
+from dataclasses import asdict
+
+import numpy as np
+
+from ..core import CFTrainingConfig, FeasibleCFExplainer, paper_config
+from ..data import TabularEncoder, dataset_schema
+from ..experiments.runconfig import get_scale
+from ..models import BlackBoxClassifier, ConditionalVAE
+from ..nn import load_state, save_state
+from .pipeline import TrainedPipeline, pipeline_fingerprint, train_pipeline
+
+__all__ = [
+    "ARTIFACT_FORMAT_VERSION",
+    "ArtifactError",
+    "ArtifactStore",
+    "StaleArtifactError",
+]
+
+#: Bump when the artifact layout or manifest schema changes; loading an
+#: artifact written under any other version raises StaleArtifactError.
+ARTIFACT_FORMAT_VERSION = 1
+
+_MANIFEST = "manifest.json"
+_BLACKBOX = "blackbox.npz"
+_CFVAE = "cfvae.npz"
+
+
+class ArtifactError(RuntimeError):
+    """An artifact is missing, incomplete or corrupted."""
+
+
+class StaleArtifactError(ArtifactError):
+    """An artifact exists but no longer matches the current code/config."""
+
+
+def _file_sha256(path):
+    return hashlib.sha256(pathlib.Path(path).read_bytes()).hexdigest()
+
+
+class ArtifactStore:
+    """Directory of named, fingerprinted pipeline artifacts.
+
+    Parameters
+    ----------
+    root:
+        Directory holding one subdirectory per artifact name.  Created
+        lazily on the first :meth:`save`.
+    """
+
+    def __init__(self, root):
+        self.root = pathlib.Path(root)
+
+    def artifact_dir(self, name):
+        """Directory of the artifact called ``name``."""
+        return self.root / name
+
+    def names(self):
+        """Sorted names of artifacts that have a manifest on disk."""
+        if not self.root.is_dir():
+            return []
+        return sorted(item.name for item in self.root.iterdir() if (item / _MANIFEST).is_file())
+
+    def exists(self, name):
+        """Whether an artifact called ``name`` has a manifest on disk."""
+        return (self.artifact_dir(name) / _MANIFEST).is_file()
+
+    @staticmethod
+    def default_name(dataset, constraint_kind, seed):
+        """Canonical artifact name for a (dataset, kind, seed) pipeline."""
+        return f"{dataset}-{constraint_kind}-seed{int(seed)}"
+
+    # -- writing ------------------------------------------------------------
+    def save(self, pipeline, name=None):
+        """Persist a :class:`TrainedPipeline`; returns the artifact dir.
+
+        The manifest is written last, so a crash mid-save leaves a
+        directory without a manifest — which :meth:`load` reports as a
+        missing artifact rather than a corrupt one.
+        """
+        if pipeline.constraint_kind not in ("unary", "binary"):
+            raise ArtifactError(
+                f"cannot persist constraint_kind={pipeline.constraint_kind!r}: "
+                f"custom constraint sets have no catalog recipe to rebuild "
+                f"from on load"
+            )
+        explainer = pipeline.explainer
+        if explainer.generator is None:
+            raise ArtifactError("pipeline is not fitted; nothing to persist")
+
+        if name is None:
+            name = self.default_name(pipeline.dataset, pipeline.constraint_kind, pipeline.seed)
+        target = self.artifact_dir(name)
+        target.mkdir(parents=True, exist_ok=True)
+        save_state(target / _BLACKBOX, explainer.blackbox)
+        save_state(target / _CFVAE, explainer.generator.vae)
+
+        manifest = {
+            "format_version": ARTIFACT_FORMAT_VERSION,
+            "created_at": time.time(),
+            "dataset": pipeline.dataset,
+            "n_instances": int(pipeline.n_instances),
+            "seed": int(pipeline.seed),
+            "constraint_kind": pipeline.constraint_kind,
+            "blackbox_epochs": int(pipeline.blackbox_epochs),
+            "config": _config_payload(pipeline.config),
+            "encoder": explainer.encoder.get_state(),
+            "blackbox": {
+                "hidden": int(explainer.blackbox.hidden),
+                "accuracy": float(pipeline.blackbox_accuracy),
+            },
+            "vae": {"latent_dim": int(explainer.generator.vae.latent_dim)},
+            "fingerprint": pipeline.fingerprint,
+            "checksums": {
+                _BLACKBOX: _file_sha256(target / _BLACKBOX),
+                _CFVAE: _file_sha256(target / _CFVAE),
+            },
+        }
+        manifest_path = target / _MANIFEST
+        manifest_path.write_text(json.dumps(manifest, indent=2) + "\n")
+        return target
+
+    # -- reading ------------------------------------------------------------
+    def manifest(self, name):
+        """Parsed manifest of artifact ``name`` (raises on missing/corrupt)."""
+        path = self.artifact_dir(name) / _MANIFEST
+        if not path.is_file():
+            raise ArtifactError(f"no artifact {name!r} under {self.root} (missing {_MANIFEST})")
+        try:
+            return json.loads(path.read_text())
+        except json.JSONDecodeError as error:
+            raise ArtifactError(f"manifest of {name!r} is corrupted: {error}") from error
+
+    def fresh(self, name, fingerprint):
+        """Whether ``name`` exists and matches ``fingerprint`` exactly."""
+        if not self.exists(name):
+            return False
+        try:
+            manifest = self.manifest(name)
+        except ArtifactError:
+            return False
+        return (
+            manifest.get("format_version") == ARTIFACT_FORMAT_VERSION
+            and manifest.get("fingerprint") == fingerprint
+        )
+
+    def load(self, name, expected_fingerprint=None):
+        """Rebuild a :class:`TrainedPipeline` from artifact ``name``.
+
+        Raises :class:`StaleArtifactError` when the format version, the
+        recomputed fingerprint or ``expected_fingerprint`` disagree with
+        the manifest, and :class:`ArtifactError` when a weight file fails
+        its checksum.  ``bundle`` on the result is ``None`` — the store
+        persists models, never data.
+        """
+        manifest = self.manifest(name)
+        target = self.artifact_dir(name)
+
+        version = manifest.get("format_version")
+        if version != ARTIFACT_FORMAT_VERSION:
+            raise StaleArtifactError(
+                f"artifact {name!r} has format_version={version}, this code "
+                f"reads version {ARTIFACT_FORMAT_VERSION}; retrain and re-save"
+            )
+
+        for filename, recorded in manifest["checksums"].items():
+            path = target / filename
+            if not path.is_file():
+                raise ArtifactError(f"artifact {name!r} is missing {filename}")
+            actual = _file_sha256(path)
+            if actual != recorded:
+                raise ArtifactError(
+                    f"artifact {name!r}: {filename} fails its checksum "
+                    f"(expected {recorded[:12]}..., got {actual[:12]}...); "
+                    f"the file is corrupted or was edited after save"
+                )
+
+        dataset = manifest["dataset"]
+        schema = dataset_schema(dataset)
+        config = CFTrainingConfig(**manifest["config"])
+        recomputed = pipeline_fingerprint(
+            dataset,
+            manifest["n_instances"],
+            manifest["seed"],
+            manifest["constraint_kind"],
+            config,
+            schema,
+            manifest["blackbox_epochs"],
+        )
+        if recomputed != manifest["fingerprint"]:
+            raise StaleArtifactError(
+                f"artifact {name!r} is stale: its fingerprint no longer "
+                f"matches the current schema/config for {dataset!r} "
+                f"(saved {manifest['fingerprint'][:12]}..., "
+                f"recomputed {recomputed[:12]}...); retrain and re-save"
+            )
+        if expected_fingerprint is not None and expected_fingerprint != recomputed:
+            raise StaleArtifactError(
+                f"artifact {name!r} does not match the requested pipeline "
+                f"(artifact {recomputed[:12]}..., "
+                f"requested {expected_fingerprint[:12]}...)"
+            )
+
+        encoder = TabularEncoder.from_state(schema, manifest["encoder"])
+        blackbox = BlackBoxClassifier(
+            encoder.n_encoded,
+            np.random.default_rng(0),
+            hidden=manifest["blackbox"]["hidden"],
+        )
+        load_state(target / _BLACKBOX, blackbox)
+        blackbox.eval()
+        vae = ConditionalVAE(
+            encoder.n_encoded,
+            np.random.default_rng(0),
+            latent_dim=manifest["vae"]["latent_dim"],
+        )
+        load_state(target / _CFVAE, vae)
+        explainer = FeasibleCFExplainer.from_trained(
+            encoder,
+            blackbox,
+            vae,
+            constraint_kind=manifest["constraint_kind"],
+            config=config,
+            seed=manifest["seed"],
+        )
+        return TrainedPipeline(
+            explainer=explainer,
+            dataset=dataset,
+            n_instances=manifest["n_instances"],
+            seed=manifest["seed"],
+            constraint_kind=manifest["constraint_kind"],
+            blackbox_epochs=manifest["blackbox_epochs"],
+            blackbox_accuracy=manifest["blackbox"]["accuracy"],
+            bundle=None,
+        )
+
+    # -- train-or-load ------------------------------------------------------
+    def ensure(
+        self,
+        dataset,
+        scale="fast",
+        seed=0,
+        constraint_kind="unary",
+        config=None,
+        name=None,
+        bundle=None,
+        verbose=False,
+    ):
+        """Warm-start from a fresh artifact or train-and-save a new one.
+
+        Returns ``(pipeline, was_cached)``.  A stale or missing artifact
+        is replaced by retraining; a fresh one short-circuits training
+        entirely.
+        """
+        scale = get_scale(scale)
+        if config is None:
+            config = paper_config(dataset, constraint_kind)
+        fingerprint = pipeline_fingerprint(
+            dataset,
+            scale.instances_for(dataset),
+            seed,
+            constraint_kind,
+            config,
+            dataset_schema(dataset),
+            scale.blackbox_epochs,
+        )
+        name = name or self.default_name(dataset, constraint_kind, seed)
+        if self.fresh(name, fingerprint):
+            return self.load(name, expected_fingerprint=fingerprint), True
+        pipeline = train_pipeline(
+            dataset,
+            scale=scale,
+            seed=seed,
+            constraint_kind=constraint_kind,
+            config=config,
+            bundle=bundle,
+            verbose=verbose,
+        )
+        self.save(pipeline, name=name)
+        return pipeline, False
+
+
+def _config_payload(config):
+    """JSON-ready dict of a CFTrainingConfig."""
+    payload = asdict(config)
+    return {
+        key: (float(value) if isinstance(value, float) else value)
+        for key, value in payload.items()
+    }

@@ -9,8 +9,48 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["check_2d", "check_2d_fast", "check_binary_labels",
-           "check_probability", "check_positive"]
+__all__ = ["SchemaMismatchError", "check_2d", "check_2d_fast",
+           "check_binary_labels", "check_encoded_rows", "check_probability",
+           "check_positive", "check_schema_width"]
+
+
+class SchemaMismatchError(ValueError):
+    """Input columns do not match the schema a model was trained on.
+
+    Raised by explainers and the serving layer *before* the mismatched
+    matrix reaches a matmul, so callers get a description of the schema
+    contract instead of a numpy broadcasting error.
+    """
+
+
+def check_schema_width(array, n_expected, name="x", context=None):
+    """Validate that a 2-D ``array`` has ``n_expected`` encoded columns.
+
+    ``context`` names the schema owner (e.g. ``"dataset 'adult'"``) so the
+    error points the caller at the right encoder.  Returns the array.
+    """
+    n_got = array.shape[1]
+    if n_got != int(n_expected):
+        where = f" trained on {context}" if context else ""
+        raise SchemaMismatchError(
+            f"{name} has {n_got} columns but the schema{where} expects "
+            f"{n_expected} encoded columns; encode rows with the same "
+            f"TabularEncoder the model was trained with")
+    return array
+
+
+def check_encoded_rows(array, encoder, name="x"):
+    """Full request validation against a fitted encoder's schema.
+
+    The shared entry check of every explain/serve surface: 2-D + finite
+    (:func:`check_2d`) and the column count of ``encoder``
+    (:func:`check_schema_width`, with the dataset named in the error).
+    Returns the validated float matrix.
+    """
+    array = check_2d(array, name)
+    return check_schema_width(
+        array, encoder.n_encoded, name,
+        context=f"dataset {encoder.schema.name!r}")
 
 
 def check_2d(array, name="array"):

@@ -1,7 +1,6 @@
 """Method-specific behaviour tests for each baseline."""
 
 import numpy as np
-import pytest
 
 from repro.baselines import (
     CCHVAEExplainer,
@@ -99,8 +98,10 @@ class TestCEM:
         mahajan = MahajanExplainer(bundle.encoder, blackbox, seed=0,
                                    config=fast_config(epochs=8))
         mahajan.fit(x_train, y_train)
-        changed_cem = (np.abs(cem.generate(negatives) - negatives) > 0.01).sum(axis=1).mean()
-        changed_mahajan = (np.abs(mahajan.generate(negatives) - negatives) > 0.01).sum(axis=1).mean()
+        changed_cem = (
+            np.abs(cem.generate(negatives) - negatives) > 0.01).sum(axis=1).mean()
+        changed_mahajan = (
+            np.abs(mahajan.generate(negatives) - negatives) > 0.01).sum(axis=1).mean()
         # CEM's elastic net should win sparsity by a wide margin (Table IV)
         assert changed_cem < changed_mahajan
 

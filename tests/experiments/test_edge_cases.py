@@ -1,7 +1,6 @@
 """Edge-case tests for the experiment builders."""
 
 import numpy as np
-import pytest
 
 from repro.core import CFBatchResult
 from repro.data import load_dataset

@@ -1,6 +1,5 @@
 """Tests for the experiment harness (scales, context, method runs)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import (

@@ -1,0 +1,27 @@
+"""The perf harness's serve section: cold vs warm timings, parity guard."""
+
+from repro.experiments.perfbench import PERF_SCALES, _serve_section
+
+_TINY_SPEC = {
+    "n_instances": 500,
+    "train_epochs": 3,
+    "cf_epochs": 2,
+    "serve_rows": 16,
+}
+
+
+class TestServeSection:
+    def test_section_shape_and_sanity(self):
+        section = _serve_section(_TINY_SPEC, seed=0)
+        assert section["rows"] == 16
+        assert section["cold_start_seconds"] > 0
+        assert section["warm_start_seconds"] > 0
+        # warm start skips training entirely, so even on a tiny workload
+        # it must come out ahead
+        assert section["speedup_cold_vs_warm"] > 1.0
+        assert section["warm_rows_per_sec"] > 0
+        assert section["cache_hit_rows_per_sec"] > 0
+
+    def test_every_scale_declares_serve_rows(self):
+        for name, spec in PERF_SCALES.items():
+            assert "serve_rows" in spec, name

@@ -1,6 +1,5 @@
 """Tests for the table and figure builders."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import (

@@ -33,13 +33,13 @@ class TestArchitecture:
     def test_encoder_layer_widths(self):
         vae = make_vae(n_features=8)
         linears = [m for m in vae.encoder_trunk.modules() if isinstance(m, Linear)]
-        widths = [(l.in_features, l.out_features) for l in linears]
+        widths = [(layer.in_features, layer.out_features) for layer in linears]
         assert widths == [(9, 20), (20, 16), (16, 14), (14, 12)]
 
     def test_decoder_layer_widths(self):
         vae = make_vae(n_features=8)
         linears = [m for m in vae.decoder_trunk.modules() if isinstance(m, Linear)]
-        widths = [(l.in_features, l.out_features) for l in linears]
+        widths = [(layer.in_features, layer.out_features) for layer in linears]
         assert widths == [(11, 12), (12, 14), (14, 16), (16, 18)]
 
     def test_heads(self):

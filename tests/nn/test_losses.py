@@ -1,7 +1,6 @@
 """Unit tests for loss functions, including stability and gradient flow."""
 
 import numpy as np
-import pytest
 
 from repro.nn import (
     Tensor,

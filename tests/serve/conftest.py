@@ -1,0 +1,45 @@
+"""Shared fixtures for the serving-subsystem tests.
+
+One tiny pipeline is trained per test session; every store/service test
+reuses it (saving is cheap, training is not).
+"""
+
+import pytest
+
+from repro.core import CFTrainingConfig
+from repro.experiments.runconfig import ExperimentScale
+from repro.serve import train_pipeline
+
+#: Miniature but real: the full train -> blackbox -> CF-VAE path on a
+#: few hundred rows, small enough to train in well under a second.
+TINY_SCALE = ExperimentScale("tiny", 600, 30, 4)
+
+TINY_CONFIG = CFTrainingConfig(
+    learning_rate=3e-3,
+    batch_size=64,
+    epochs=2,
+    warmstart_epochs=2,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_settings():
+    """(scale, config) pair the shared pipeline was trained with."""
+    return TINY_SCALE, TINY_CONFIG
+
+
+@pytest.fixture(scope="session")
+def tiny_pipeline():
+    return train_pipeline(
+        "adult",
+        scale=TINY_SCALE,
+        seed=0,
+        constraint_kind="unary",
+        config=TINY_CONFIG,
+    )
+
+
+@pytest.fixture(scope="session")
+def explain_rows(tiny_pipeline):
+    x_test, _ = tiny_pipeline.bundle.split("test")
+    return x_test[:24]

@@ -1,0 +1,68 @@
+"""Unit tests for the LRU result-cache primitive."""
+
+import pytest
+
+from repro.serve import LRUResultCache
+
+
+class TestLRUResultCache:
+    def test_put_get_roundtrip(self):
+        cache = LRUResultCache(capacity=4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert "a" in cache
+        assert len(cache) == 1
+
+    def test_miss_returns_none_and_counts(self):
+        cache = LRUResultCache(capacity=4)
+        assert cache.get("missing") is None
+        assert cache.stats["misses"] == 1
+        assert cache.stats["hits"] == 0
+
+    def test_lru_eviction_order(self):
+        cache = LRUResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a": "b" becomes LRU
+        cache.put("c", 3)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        assert cache.get("c") == 3
+        assert cache.stats["evictions"] == 1
+
+    def test_overwrite_moves_to_front(self):
+        cache = LRUResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh + overwrite: "b" is evicted next
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert cache.get("b") is None
+
+    def test_zero_capacity_disables(self):
+        cache = LRUResultCache(capacity=0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            LRUResultCache(capacity=-1)
+
+    def test_clear_keeps_statistics(self):
+        cache = LRUResultCache(capacity=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats["hits"] == 1
+
+    def test_stats_shape(self):
+        cache = LRUResultCache(capacity=3)
+        assert cache.stats == {
+            "size": 0,
+            "capacity": 3,
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+        }

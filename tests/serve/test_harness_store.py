@@ -1,0 +1,34 @@
+"""Harness integration: prepare_context warm-starting from the store."""
+
+import numpy as np
+
+from repro.experiments import prepare_context
+from repro.experiments.runconfig import ExperimentScale
+from repro.serve import ArtifactStore
+
+#: Small enough that the store path's full-pipeline training stays fast.
+_SCALE = ExperimentScale("tiny-harness", 500, 20, 3)
+
+
+class TestPrepareContextWithStore:
+    def test_store_path_matches_default_path(self, tmp_path):
+        default = prepare_context("adult", scale=_SCALE, seed=0)
+        store = ArtifactStore(tmp_path / "store")
+        stored = prepare_context("adult", scale=_SCALE, seed=0, store=store)
+
+        assert store.exists(store.default_name("adult", "unary", 0))
+        assert np.array_equal(default.x_explain, stored.x_explain)
+        assert np.array_equal(
+            default.blackbox.predict(default.x_explain),
+            stored.blackbox.predict(stored.x_explain),
+        )
+        assert default.blackbox_accuracy == stored.blackbox_accuracy
+
+    def test_second_call_warm_starts(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        first = prepare_context("adult", scale=_SCALE, seed=0, store=store)
+        second = prepare_context("adult", scale=_SCALE, seed=0, store=store)
+        assert np.array_equal(
+            first.blackbox.predict_logits(first.x_explain),
+            second.blackbox.predict_logits(second.x_explain),
+        )

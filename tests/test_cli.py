@@ -9,7 +9,7 @@ class TestParser:
     def test_commands_accepted(self):
         parser = build_parser()
         for command in ("table1", "table2", "table3", "table4", "table5",
-                        "figure6", "discover", "all"):
+                        "figure6", "discover", "serve-demo", "all"):
             args = parser.parse_args([command])
             assert args.command == command
 
@@ -53,3 +53,20 @@ class TestExecution:
         target = tmp_path / "nested" / "dir"
         main(["table1", "--scale", "smoke", "--out", str(target)])
         assert (target / "table1.txt").exists()
+
+    def test_serve_demo_trains_then_warm_starts(self, capsys, tmp_path):
+        store_dir = tmp_path / "store"
+        out_dir = tmp_path / "out"
+        code = main(["serve-demo", "--scale", "smoke", "--rows", "32",
+                     "--artifact-dir", str(store_dir), "--out", str(out_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SERVE DEMO" in out
+        assert "cold train + save" in out
+        assert (out_dir / "serve_demo_adult.txt").exists()
+        assert (store_dir / "adult-unary-seed0" / "manifest.json").exists()
+
+        code = main(["serve-demo", "--scale", "smoke", "--rows", "32",
+                     "--artifact-dir", str(store_dir)])
+        assert code == 0
+        assert "cache hit" in capsys.readouterr().out

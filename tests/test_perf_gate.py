@@ -1,0 +1,115 @@
+"""Tests for the CI perf-regression gate (benchmarks/check_perf_regression.py)."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_GATE_PATH = (pathlib.Path(__file__).resolve().parents[1]
+              / "benchmarks" / "check_perf_regression.py")
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location("check_perf_regression",
+                                                  _GATE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _results(train=100.0, predict=1000.0, candidates=500.0):
+    return {
+        "train": {"rows_per_sec": train},
+        "predict": {"rows_per_sec": predict},
+        "candidates": {"rows_per_sec": candidates},
+    }
+
+
+class TestCompare:
+    def test_no_regression_passes(self, gate):
+        rows, failures = gate.compare(_results(), _results(predict=990.0))
+        assert failures == []
+        assert len(rows) == 3
+
+    def test_improvement_passes(self, gate):
+        _, failures = gate.compare(_results(), _results(predict=5000.0))
+        assert failures == []
+
+    def test_drop_beyond_threshold_fails(self, gate):
+        _, failures = gate.compare(_results(), _results(predict=500.0))
+        assert len(failures) == 1
+        assert "predict" in failures[0]
+
+    def test_drop_within_threshold_passes(self, gate):
+        _, failures = gate.compare(_results(), _results(candidates=400.0),
+                                   threshold=0.30)
+        assert failures == []
+
+    def test_train_is_informational_only(self, gate):
+        rows, failures = gate.compare(_results(), _results(train=1.0))
+        assert failures == []
+        train_row = [r for r in rows if r[0] == "train"][0]
+        assert train_row[5] is False  # not gated
+
+    def test_both_sections_can_fail(self, gate):
+        _, failures = gate.compare(
+            _results(), _results(predict=100.0, candidates=50.0))
+        assert len(failures) == 2
+
+    def test_nonpositive_baseline_rejected(self, gate):
+        with pytest.raises(ValueError, match="positive"):
+            gate.compare(_results(predict=0.0), _results())
+
+
+class TestMarkdown:
+    def test_table_mentions_verdicts(self, gate):
+        rows, _ = gate.compare(_results(), _results(predict=100.0))
+        markdown = gate.render_markdown(rows, 0.30)
+        assert "FAIL" in markdown
+        assert "pass" in markdown
+        assert "info only" in markdown
+        assert "| predict |" in markdown
+
+
+class TestMain:
+    def _write(self, tmp_path, name, results):
+        path = tmp_path / name
+        path.write_text(json.dumps(results))
+        return path
+
+    def test_exit_zero_on_pass(self, tmp_path, gate, capsys):
+        baseline = self._write(tmp_path, "base.json", _results())
+        current = self._write(tmp_path, "cur.json", _results())
+        assert gate.main(["--baseline", str(baseline),
+                          "--current", str(current)]) == 0
+        assert "perf gate passed" in capsys.readouterr().out
+
+    def test_exit_two_on_regression(self, tmp_path, gate, capsys):
+        baseline = self._write(tmp_path, "base.json", _results())
+        current = self._write(tmp_path, "cur.json", _results(predict=10.0))
+        assert gate.main(["--baseline", str(baseline),
+                          "--current", str(current)]) == 2
+        assert "PERF REGRESSION" in capsys.readouterr().err
+
+    def test_summary_file_appended(self, tmp_path, gate):
+        baseline = self._write(tmp_path, "base.json", _results())
+        current = self._write(tmp_path, "cur.json", _results())
+        summary = tmp_path / "summary.md"
+        gate.main(["--baseline", str(baseline), "--current", str(current),
+                   "--summary", str(summary)])
+        assert "Perf-regression gate" in summary.read_text()
+
+    def test_threshold_validated(self, tmp_path, gate):
+        baseline = self._write(tmp_path, "base.json", _results())
+        with pytest.raises(SystemExit):
+            gate.main(["--baseline", str(baseline),
+                       "--current", str(baseline), "--threshold", "1.5"])
+
+    def test_custom_threshold_changes_verdict(self, tmp_path, gate):
+        baseline = self._write(tmp_path, "base.json", _results())
+        current = self._write(tmp_path, "cur.json", _results(predict=800.0))
+        args = ["--baseline", str(baseline), "--current", str(current)]
+        assert gate.main(args) == 0
+        assert gate.main(args + ["--threshold", "0.10"]) == 2
