@@ -25,9 +25,13 @@ DEFAULT_OUTPUT = REPO_ROOT / "BENCH_engine.json"
 
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.experiments.perfbench import run_perfbench, write_bench  # noqa: E402
+from repro.experiments.perfbench import (  # noqa: E402
+    MIN_KERNEL_SPEEDUP,
+    run_perfbench,
+    write_bench,
+)
 
-REQUIRED_SECTIONS = ("train", "predict", "candidates", "serve")
+REQUIRED_SECTIONS = ("train", "predict", "candidates", "constraint_eval", "serve")
 
 #: Acceptance floor: warm-starting from the artifact store must beat
 #: retraining from scratch by at least this factor end-to-end.
@@ -39,7 +43,7 @@ def check_wellformed(results):
     for section in REQUIRED_SECTIONS:
         if section not in results:
             raise KeyError(f"BENCH_engine results missing section {section!r}")
-    for section in ("train", "predict", "candidates"):
+    for section in ("train", "predict", "candidates", "constraint_eval"):
         if results[section]["rows_per_sec"] <= 0:
             raise ValueError(f"non-positive throughput in section {section!r}")
     serve_speedup = results["serve"]["speedup_cold_vs_warm"]
@@ -47,6 +51,11 @@ def check_wellformed(results):
         raise ValueError(
             f"warm-start serving is only {serve_speedup}x faster than "
             f"cold-start; the artifact store must buy >= {MIN_SERVE_SPEEDUP}x")
+    kernel_speedup = results["constraint_eval"]["speedup_compiled_vs_loop"]
+    if kernel_speedup < MIN_KERNEL_SPEEDUP:
+        raise ValueError(
+            f"compiled feasibility kernel is only {kernel_speedup}x faster "
+            f"than the loop evaluator; must hold >= {MIN_KERNEL_SPEEDUP}x")
     return True
 
 

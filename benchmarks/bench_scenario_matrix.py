@@ -1,0 +1,127 @@
+"""Benchmark: one scenario per baseline strategy through the engine runner.
+
+The matrix smoke proves every Table IV method still runs end to end on
+the shared engine — one registered scenario per baseline strategy (all
+six: Mahajan, REVISE, C-CHVAE, CEM, DiCE-random, FACE), fitted at a tiny
+bench scale and timed on the explain path (``EngineRunner.run``), which
+is the shape serving traffic takes.
+
+Results merge into ``BENCH_engine.json`` as a ``scenario_matrix``
+section (per-strategy rows/sec plus the fleet minimum), which
+``check_perf_regression.py`` reports as an informational row next to the
+gated fast-path sections.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_scenario_matrix.py
+
+or through pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_scenario_matrix.py -q
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_engine.json"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.engine import EngineRunner, build_strategy  # noqa: E402
+from repro.experiments import prepare_context  # noqa: E402
+from repro.experiments.runconfig import ExperimentScale  # noqa: E402
+
+#: The six baseline strategies of Table IV, with bench-scale knobs that
+#: shrink fitting (never the explain path being timed).
+BASELINE_MATRIX = (
+    ("mahajan_unary", {"min_epochs": 6}),
+    ("revise", {"vae_epochs": 5, "steps": 40}),
+    ("cchvae", {"vae_epochs": 5, "n_candidates": 40}),
+    ("cem", {"steps": 40}),
+    ("dice_random", {"max_attempts": 20}),
+    ("face", {}),
+)
+
+#: Tiny fixed workload so the matrix stays a smoke test.
+BENCH_SCALE = ExperimentScale("scenario-bench", 1500, 24, 6)
+
+
+def run_matrix(seed=0):
+    """Fit and time every baseline scenario; returns the section dict."""
+    context = prepare_context("adult", scale=BENCH_SCALE, seed=seed)
+    encoder = context.bundle.encoder
+    runner = EngineRunner(encoder, context.blackbox)
+
+    strategies = {}
+    for name, params in BASELINE_MATRIX:
+        start = time.perf_counter()
+        strategy = build_strategy(
+            name, encoder, context.blackbox, dataset="adult", seed=seed,
+            **params)
+        strategy.fit(context.x_train, context.y_train)
+        fit_seconds = time.perf_counter() - start
+
+        runner.run(strategy, context.x_explain, context.desired)  # warm-up
+        start = time.perf_counter()
+        result = runner.run(strategy, context.x_explain, context.desired)
+        explain_seconds = max(time.perf_counter() - start, 1e-9)
+
+        # validity and valid_rows both come from the timed run: stochastic
+        # strategies (dice_random) would otherwise report two different runs
+        strategies[name] = {
+            "rows_per_sec": round(len(context.x_explain) / explain_seconds, 1),
+            "fit_seconds": round(fit_seconds, 3),
+            "validity": round(float(result.valid.mean()) * 100.0, 2),
+            "valid_rows": int(np.count_nonzero(result.valid)),
+        }
+
+    rates = [entry["rows_per_sec"] for entry in strategies.values()]
+    return {
+        "rows": len(context.x_explain),
+        "n_strategies": len(strategies),
+        "min_rows_per_sec": round(min(rates), 1),
+        "strategies": strategies,
+    }
+
+
+def merge_into_bench(section, output=DEFAULT_OUTPUT):
+    """Attach the matrix section to BENCH_engine.json (if it exists)."""
+    if output.exists():
+        results = json.loads(output.read_text())
+    else:
+        results = {"benchmark": "engine_fast_path"}
+    results["scenario_matrix"] = section
+    output.write_text(json.dumps(results, indent=2) + "\n")
+    return output
+
+
+def test_scenario_matrix(artifact_dir):
+    """Pytest entry: every baseline runs through the engine, JSON merged."""
+    section = run_matrix(seed=0)
+    assert section["n_strategies"] == len(BASELINE_MATRIX)
+    assert section["min_rows_per_sec"] > 0
+    merge_into_bench(section)
+    artifact = artifact_dir / "bench_scenario_matrix.json"
+    artifact.write_text(json.dumps(section, indent=2) + "\n")
+    print(json.dumps(section, indent=2))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+    section = run_matrix(seed=args.seed)
+    merge_into_bench(section, output=args.output)
+    print(json.dumps(section, indent=2))
+    print(f"\nmerged scenario_matrix into {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -32,12 +32,15 @@ import sys
 GATED_METRICS = {
     "predict": "rows_per_sec",
     "candidates": "rows_per_sec",
+    "constraint_eval": "rows_per_sec",
 }
 
-#: Reported in the table but never failing: training throughput wobbles
-#: with CI host load far more than the inference fast paths do.
+#: Reported in the table but never failing: training throughput and the
+#: scenario matrix (which fits six methods end-to-end) wobble with CI
+#: host load far more than the inference fast paths do.
 INFORMATIONAL_METRICS = {
     "train": "rows_per_sec",
+    "scenario_matrix": "min_rows_per_sec",
 }
 
 DEFAULT_THRESHOLD = 0.30
@@ -56,6 +59,12 @@ def compare(baseline, current, threshold=DEFAULT_THRESHOLD):
     metrics = {**{k: (v, True) for k, v in GATED_METRICS.items()},
                **{k: (v, False) for k, v in INFORMATIONAL_METRICS.items()}}
     for section, (metric, gated) in sorted(metrics.items()):
+        if section not in baseline or section not in current:
+            # a section new to (or removed from) this commit has no pair
+            # to compare; report it rather than KeyError the gate
+            rows.append((section, metric, float("nan"), float("nan"),
+                         float("nan"), gated, True))
+            continue
         old = float(baseline[section][metric])
         new = float(current[section][metric])
         if old <= 0:
@@ -83,6 +92,9 @@ def render_markdown(rows, threshold):
         "|---|---:|---:|---:|---|",
     ]
     for section, _metric, old, new, ratio, gated, ok in rows:
+        if old != old:  # NaN: section absent on one side of the comparison
+            lines.append(f"| {section} | — | — | — | no baseline |")
+            continue
         if not gated:
             verdict = "info only"
         elif ok:

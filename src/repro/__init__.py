@@ -12,11 +12,17 @@ The package is organised bottom-up:
   CF-VAE with the four-part loss, behind ``FeasibleCFExplainer``.
 * :mod:`repro.baselines` -- Mahajan et al., REVISE, C-CHVAE, CEM,
   DiCE-random and FACE, re-implemented from their papers.
+* :mod:`repro.engine` -- the batch-first explainer engine: compiled
+  feasibility kernel, the ``CFStrategy`` API every method implements,
+  the shared runner and the scenario registry (see
+  ``docs/architecture.md``).
 * :mod:`repro.metrics` -- the five evaluation metrics of Section IV-D.
 * :mod:`repro.manifold` -- from-scratch t-SNE plus density diagnostics
   for the Figure 6 manifolds.
 * :mod:`repro.experiments` -- harness that regenerates every table and
   figure of the evaluation section.
+* :mod:`repro.serve` -- artifact store + warm-start strategy-agnostic
+  serving.
 """
 
 __version__ = "1.0.0"

@@ -33,10 +33,14 @@ class MahajanExplainer(BaseCFExplainer):
         constraint model, like our method (Table IV reports both rows).
     config:
         Optional base config; its sparsity weights are forced to zero.
+    min_epochs:
+        Training-epoch floor (default 50, the setting the L2 objective
+        needs to converge at paper scale).  Benchmarks lower it to keep
+        smoke sweeps fast.
     """
 
     def __init__(self, encoder, blackbox, constraint_kind="unary",
-                 config=None, seed=0):
+                 config=None, seed=0, min_epochs=50):
         super().__init__(encoder, blackbox, seed=seed)
         self.name = f"mahajan_{constraint_kind}"
         self.constraint_kind = constraint_kind
@@ -53,7 +57,7 @@ class MahajanExplainer(BaseCFExplainer):
         self.config = replace(base, sparsity_l1_weight=0.0, sparsity_l0_weight=0.0,
                               proximity_metric="l2", validity_weight=3.0,
                               hinge_margin=1.5, feasibility_weight=2.0,
-                              epochs=max(base.epochs, 50))
+                              epochs=max(base.epochs, int(min_epochs)))
         self.constraints = build_constraints(encoder, constraint_kind)
         self.generator = None
 

@@ -35,7 +35,7 @@ def build_parser():
     parser.add_argument("command",
                         choices=["table1", "table2", "table3", "table4",
                                  "table5", "figure6", "discover", "serve-demo",
-                                 "all"],
+                                 "run-scenario", "list-scenarios", "all"],
                         help="which artifact to regenerate")
     parser.add_argument("--dataset", choices=_DATASETS, default="adult",
                         help="dataset for table4/table5/figure6/discover")
@@ -49,6 +49,13 @@ def build_parser():
                         help="pipeline artifact store directory (serve-demo)")
     parser.add_argument("--rows", type=int, default=128,
                         help="batch size the serve-demo answers")
+    parser.add_argument("--scenario", default=None,
+                        help="registered scenario name, e.g. adult/face "
+                             "(run-scenario)")
+    parser.add_argument("--strategy", default=None,
+                        help="strategy name filter (list-scenarios) or the "
+                             "strategy serve-demo serves instead of the core "
+                             "generator, e.g. dice_random")
     return parser
 
 
@@ -107,13 +114,17 @@ def _run_discover(dataset, scale, seed, out_dir):
     _emit(text, out_dir, f"discovered_{dataset}.txt")
 
 
-def _run_serve_demo(dataset, scale, seed, out_dir, artifact_dir, rows):
+def _run_serve_demo(dataset, scale, seed, out_dir, artifact_dir, rows,
+                    strategy_name=None):
     """Train-or-load an artifact, then serve a warm-start batch twice.
 
     Demonstrates the full serving loop: ensure a fresh artifact in the
     store (training only when missing/stale), warm-start an
     ExplanationService from disk, answer a batch, answer it again from
-    the result cache, and report the cold/warm timings.
+    the result cache, and report the cold/warm timings.  With
+    ``--strategy`` the service serves that baseline strategy (fitted on
+    the training split) on top of the warm-started pipeline instead of
+    the core generator.
     """
     import time
 
@@ -135,7 +146,18 @@ def _run_serve_demo(dataset, scale, seed, out_dir, artifact_dir, rows):
     batch = x_test[:max(1, rows)]
 
     start = time.perf_counter()
-    service = ExplanationService.warm_start(store, name)
+    strategy = None
+    if strategy_name is not None:
+        from .engine import build_strategy
+
+        strategy = build_strategy(
+            strategy_name, pipeline.encoder, pipeline.blackbox,
+            dataset=dataset, seed=seed)
+        strategy.fit(*bundle.split("train"))
+    fit_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    service = ExplanationService.warm_start(store, name, strategy=strategy)
     result = service.explain_batch(batch)
     warm_seconds = time.perf_counter() - start
 
@@ -144,18 +166,66 @@ def _run_serve_demo(dataset, scale, seed, out_dir, artifact_dir, rows):
     cached_seconds = time.perf_counter() - start
 
     stats = service.stats
+    served = strategy_name or "core generator"
+    table_rows = [
+        ["ensure artifact", ensure_seconds,
+         "cache hit" if was_cached else "cold train + save"],
+        ["warm-start batch", warm_seconds,
+         f"{len(batch)} rows, validity {result.validity_rate:.2f}"],
+        ["cached batch", cached_seconds,
+         f"{stats['cache_hits']} cache hits"],
+    ]
+    if strategy is not None:
+        table_rows.insert(1, ["fit strategy", fit_seconds, served])
     table = render_table(
-        ["stage", "seconds", "detail"],
-        [
-            ["ensure artifact", ensure_seconds,
-             "cache hit" if was_cached else "cold train + save"],
-            ["warm-start batch", warm_seconds,
-             f"{len(batch)} rows, validity {result.validity_rate:.2f}"],
-            ["cached batch", cached_seconds,
-             f"{stats['cache_hits']} cache hits"],
-        ],
-        title=f"SERVE DEMO ({dataset}, artifact {name})", digits=4)
+        ["stage", "seconds", "detail"], table_rows,
+        title=f"SERVE DEMO ({dataset}, artifact {name}, strategy {served})",
+        digits=4)
     _emit(table, out_dir, f"serve_demo_{dataset}.txt")
+
+
+def _run_scenario(scenario_name, scale, seed, out_dir):
+    """Run one registered scenario and print its Table IV-style row."""
+    from .engine import get_scenario, run_scenario
+    from .utils.tables import render_table
+
+    scenario = get_scenario(scenario_name)
+    result = run_scenario(scenario, scale=scale, seed=seed)
+    report = result.report
+    rows = [
+        ["validity", report.validity],
+        ["feasibility (unary)", report.feasibility_unary],
+        ["feasibility (binary)", report.feasibility_binary],
+        ["continuous proximity", report.continuous_proximity],
+        ["categorical proximity", report.categorical_proximity],
+        ["sparsity", report.sparsity],
+        ["rows explained", result.n_explained],
+        ["blackbox accuracy", result.blackbox_accuracy],
+    ]
+    text = render_table(
+        ["metric", "value"],
+        [[label, "-" if value is None else value] for label, value in rows],
+        title=f"SCENARIO {scenario.name} (scale {scale})", digits=2)
+    safe = scenario_file_name(scenario.name)
+    _emit(text, out_dir, f"scenario_{safe}.txt")
+
+
+def scenario_file_name(name):
+    """Scenario name as a filesystem-safe artifact file stem."""
+    return name.replace("/", "_")
+
+
+def _run_list_scenarios(strategy, out_dir):
+    """Print the scenario registry, optionally filtered by strategy."""
+    from .engine import iter_scenarios
+    from .utils.tables import render_table
+
+    rows = [[s.name, s.dataset, s.strategy, s.constraint_kind, s.desired]
+            for s in iter_scenarios(strategy=strategy)]
+    text = render_table(
+        ["scenario", "dataset", "strategy", "kind", "desired"], rows,
+        title=f"Scenario registry ({len(rows)} entries)")
+    _emit(text, out_dir, "scenarios.txt")
 
 
 def main(argv=None):
@@ -182,7 +252,15 @@ def main(argv=None):
         _run_discover(args.dataset, args.scale, args.seed, out_dir)
     if args.command == "serve-demo":
         _run_serve_demo(args.dataset, args.scale, args.seed, out_dir,
-                        args.artifact_dir, args.rows)
+                        args.artifact_dir, args.rows,
+                        strategy_name=args.strategy)
+    if args.command == "run-scenario":
+        if args.scenario is None:
+            print("run-scenario requires --scenario (see list-scenarios)")
+            return 2
+        _run_scenario(args.scenario, args.scale, args.seed, out_dir)
+    if args.command == "list-scenarios":
+        _run_list_scenarios(args.strategy, out_dir)
     if args.command == "all":
         for dataset in _DATASETS:
             _run_table4(dataset, args.scale, args.seed, out_dir)

@@ -30,10 +30,19 @@ class ImmutableProjector:
         return bool(self.mask.any())
 
     def project(self, x, x_cf):
-        """ndarray version: returns ``x_cf`` with immutable columns from ``x``."""
+        """ndarray version: returns ``x_cf`` with immutable columns from ``x``.
+
+        ``x_cf`` may be a flat ``(n, d)`` matrix or a candidate tensor of
+        shape ``(n, m, d)`` holding ``m`` candidates per input row.  The
+        3-D form projects the whole batch in one broadcast assignment —
+        no per-candidate loop and no materialised ``np.repeat(x, m)``.
+        """
         x = np.asarray(x)
         x_cf = np.asarray(x_cf, dtype=np.float64).copy()
-        x_cf[:, self.mask] = x[:, self.mask]
+        if x_cf.ndim == 3:
+            x_cf[:, :, self.mask] = x[:, None, self.mask]
+        else:
+            x_cf[:, self.mask] = x[:, self.mask]
         return x_cf
 
     def project_tensor(self, x, x_cf):

@@ -22,7 +22,6 @@ from ..models import BlackBoxClassifier, ConditionalVAE, train_classifier
 from ..utils.validation import check_binary_labels, check_encoded_rows
 from .config import CFTrainingConfig
 from .generator import CFVAEGenerator
-from .result import CFBatchResult
 
 __all__ = ["FeasibleCFExplainer"]
 
@@ -68,6 +67,8 @@ class FeasibleCFExplainer:
         self.blackbox = blackbox
         self.projector = ImmutableProjector(encoder)
         self.generator = None
+        self._compiled = None
+        self._runner = None
 
     @classmethod
     def from_trained(cls, encoder, blackbox, vae, constraint_kind="unary",
@@ -134,32 +135,54 @@ class FeasibleCFExplainer:
             return []
         return self.generator.history
 
+    # -- engine integration -----------------------------------------------------
+    @property
+    def compiled_constraints(self):
+        """Compiled feasibility kernel over this explainer's constraint set.
+
+        Compiled once and cached; bit-identical to the per-constraint
+        loop (``self.constraints.satisfied``), which remains available as
+        the parity reference.
+        """
+        if self._compiled is None:
+            self._compiled = self.constraints.compile()
+        return self._compiled
+
+    def as_strategy(self, name=None, n_candidates=1, noise_scale=None, rng=None):
+        """Expose this explainer through the engine's strategy API.
+
+        With ``n_candidates=1`` the strategy proposes the deterministic
+        decode :meth:`explain` uses; larger values propose a diverse
+        latent-perturbation sweep for density-aware selection.
+        """
+        from ..engine import CoreCFStrategy
+
+        return CoreCFStrategy(self, name=name, n_candidates=n_candidates,
+                              noise_scale=noise_scale, rng=rng)
+
+    def _engine_runner(self):
+        """Cached :class:`repro.engine.EngineRunner` over this pipeline."""
+        from ..engine import EngineRunner
+
+        if self._runner is None or self._runner.blackbox is not self.blackbox:
+            self._runner = EngineRunner(
+                self.encoder, self.blackbox,
+                constraints=self.compiled_constraints)
+        return self._runner
+
     # -- explanation ------------------------------------------------------------
     def explain(self, x, desired=None):
         """Generate counterfactuals for encoded rows ``x``.
 
         Returns a :class:`CFBatchResult` with validity/feasibility flags
-        computed against the black-box and the constraint set.
+        computed against the black-box and the constraint set.  A thin
+        adapter over the shared engine runner: projection, validity and
+        the fused feasibility pass all happen in
+        :meth:`repro.engine.EngineRunner.run`.
         """
         if self.generator is None:
             raise RuntimeError("explainer is not fitted; call fit() first")
-        x = self._check_rows(x, "x")
-        if desired is None:
-            desired = 1 - self.blackbox.predict(x)
-        else:
-            desired = np.asarray(desired, dtype=int)
-
-        x_cf = self.generator.generate(x, desired)
-        predicted = self.blackbox.predict(x_cf)
-        return CFBatchResult(
-            x=x,
-            x_cf=x_cf,
-            desired=desired,
-            predicted=predicted,
-            valid=predicted == desired,
-            feasible=self.constraints.satisfied(x, x_cf),
-            encoder=self.encoder,
-        )
+        return self._engine_runner().run(self.as_strategy(), x, desired)
 
     def explain_frame(self, frame, desired=None):
         """Convenience wrapper: explain raw rows from a TabularFrame."""

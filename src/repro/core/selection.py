@@ -24,7 +24,36 @@ from scipy.spatial import cKDTree
 
 from ..utils.validation import check_2d, check_positive
 
-__all__ = ["CandidateSet", "generate_candidates", "DensityCFSelector"]
+__all__ = ["CandidateSet", "generate_candidates", "DensityCFSelector",
+           "candidate_noise_defaults", "perturb_latents"]
+
+
+def candidate_noise_defaults(explainer, noise_scale=None, rng=None):
+    """Shared latent-noise defaults for candidate sweeps.
+
+    One definition of the diversity stream — the ``seed + 500`` rng and
+    the ``max(latent_noise, 0.05)`` floor — used by both
+    :func:`generate_candidates` and the engine's diverse
+    ``CoreCFStrategy`` so the two can never drift apart.
+    """
+    rng = rng or np.random.default_rng(explainer.seed + 500)
+    if noise_scale is None:
+        noise_scale = max(explainer.generator.config.latent_noise, 0.05)
+    return noise_scale, rng
+
+
+def perturb_latents(mu, n_candidates, noise_scale, rng):
+    """Perturbed latent grid: per row, candidate 0 is the zero-noise decode.
+
+    Noise for every row is drawn in a single generator call in row-major
+    order, so the grid is identical to sampling each row sequentially.
+    Returns the ``(n_rows * n_candidates, latent_dim)`` stack in
+    ``np.repeat`` order.
+    """
+    n_rows, latent_dim = mu.shape
+    noise = rng.normal(0.0, noise_scale, size=(n_rows, n_candidates, latent_dim))
+    noise[:, 0, :] = 0.0  # always include the deterministic candidate
+    return (mu[:, None, :] + noise).reshape(n_rows * n_candidates, latent_dim)
 
 
 @dataclass
@@ -68,11 +97,15 @@ def generate_candidates(explainer, x, n_candidates=20, noise_scale=None,
 
     Fully vectorized: all ``n_rows * n_candidates`` latents decode in one
     batched pass through the graph-free VAE path, followed by ONE
-    black-box validity call and ONE constraint feasibility call.  The
-    noise for every row is drawn in a single generator call in row-major
-    order, so the output is identical to sampling each row sequentially
-    (``_generate_candidates_loop``, the per-row reference kept for the
-    parity test in ``tests/core/test_selection_vectorized.py``).
+    black-box validity call and ONE fused feasibility pass through the
+    compiled constraint kernel.  Immutable projection and feasibility
+    both evaluate *tiled* — input-side terms broadcast over the
+    candidates — so the repeated input matrix is never materialised.
+    The noise for every row is drawn in a single generator call in
+    row-major order, so the output is identical to sampling each row
+    sequentially (``_generate_candidates_loop``, the per-row reference
+    kept for the parity test in
+    ``tests/core/test_selection_vectorized.py``).
     """
     x, n_candidates, rng, noise_scale, desired = _candidate_args(
         explainer, x, n_candidates, noise_scale, desired, rng)
@@ -81,20 +114,15 @@ def generate_candidates(explainer, x, n_candidates=20, noise_scale=None,
     vae.eval()
     mu, _ = vae.encode_array(x, desired)
 
-    n_rows, latent_dim = mu.shape
-    noise = rng.normal(0.0, noise_scale, size=(n_rows, n_candidates, latent_dim))
-    noise[:, 0, :] = 0.0  # always include the deterministic candidate
-    z = (mu[:, None, :] + noise).reshape(n_rows * n_candidates, latent_dim)
-
-    # The repeated-input matrix is materialised ONCE and shared by the
-    # projection and the feasibility check.
-    inputs = np.repeat(x, n_candidates, axis=0)
+    n_rows = len(mu)
+    z = perturb_latents(mu, n_candidates, noise_scale, rng)
     labels = np.repeat(np.asarray(desired, dtype=np.float64), n_candidates)
     decoded = vae.decode_latent(z, labels)
-    decoded = generator.projector.project(inputs, decoded)
+    decoded = generator.projector.project(
+        x, decoded.reshape(n_rows, n_candidates, -1)).reshape(len(z), -1)
 
     valid = explainer.blackbox.predict(decoded) == np.repeat(desired, n_candidates)
-    feasible = explainer.constraints.satisfied(inputs, decoded)
+    feasible = _feasibility_kernel(explainer).satisfied(x, decoded)
 
     sets = []
     for i in range(n_rows):
@@ -108,6 +136,14 @@ def generate_candidates(explainer, x, n_candidates=20, noise_scale=None,
     return sets
 
 
+def _feasibility_kernel(explainer):
+    """The explainer's compiled constraint kernel (compiled once, cached)."""
+    kernel = getattr(explainer, "compiled_constraints", None)
+    if kernel is None:
+        kernel = explainer.constraints.compile()
+    return kernel
+
+
 def _candidate_args(explainer, x, n_candidates, noise_scale, desired, rng):
     """Shared validation/defaults for the vectorized and loop generators."""
     if explainer.generator is None:
@@ -115,9 +151,7 @@ def _candidate_args(explainer, x, n_candidates, noise_scale, desired, rng):
     x = check_2d(x, "x")
     if n_candidates < 1:
         raise ValueError(f"n_candidates must be >= 1, got {n_candidates}")
-    rng = rng or np.random.default_rng(explainer.seed + 500)
-    if noise_scale is None:
-        noise_scale = max(explainer.generator.config.latent_noise, 0.05)
+    noise_scale, rng = candidate_noise_defaults(explainer, noise_scale, rng)
     if desired is None:
         desired = 1 - explainer.blackbox.predict(x)
     return x, n_candidates, rng, noise_scale, desired

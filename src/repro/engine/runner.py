@@ -1,0 +1,198 @@
+"""Batch-first engine runner shared by every strategy and the serving layer.
+
+Before the engine existed, the evaluation plumbing around counterfactual
+generation was forked three ways: ``core/explainer.py`` ran its own
+project/predict/feasibility loop, every baseline re-implemented immutable
+projection and validity checks inside ``BaseCFExplainer``, and the
+serving layer only knew how to drive the core path.  ``EngineRunner``
+hosts that plumbing exactly once:
+
+1. ask a :class:`~repro.engine.strategy.CFStrategy` for raw candidates,
+2. project immutable attributes for the whole ``(n, m, d)`` batch in one
+   broadcast assignment,
+3. run ONE black-box validity call and ONE compiled-kernel feasibility
+   pass over all candidates,
+4. select a winner per row (closest valid & feasible, mirroring the
+   serving policy) and
+5. optionally score the batch into a Table IV :class:`MethodReport`.
+
+Outputs are bit-identical to the pre-engine per-method paths — the
+parity tests in ``tests/engine/`` hold the line.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constraints import ConstraintSet, ImmutableProjector, build_constraints
+from ..core.result import CFBatchResult
+from .kernel import CompiledConstraintSet, FeasibilityReport
+
+__all__ = ["EngineRunner"]
+
+
+class EngineRunner:
+    """Shared propose -> project -> validate -> select -> score pipeline.
+
+    Parameters
+    ----------
+    encoder:
+        Fitted :class:`repro.data.TabularEncoder`.
+    blackbox:
+        Trained classifier (validity checks).
+    constraints:
+        Constraint set defining feasibility.  Defaults to the *union*
+        catalog set for the encoder's dataset (the binary-kind set, which
+        contains the unary constraints), so one kernel pass can answer
+        both Table IV feasibility columns.  A
+        :class:`CompiledConstraintSet` is accepted directly.
+    """
+
+    def __init__(self, encoder, blackbox, constraints=None):
+        self.encoder = encoder
+        self.blackbox = blackbox
+        if constraints is None:
+            constraints = build_constraints(encoder, "binary")
+        if isinstance(constraints, CompiledConstraintSet):
+            self.kernel = constraints
+        else:
+            if not isinstance(constraints, ConstraintSet):
+                constraints = ConstraintSet(constraints)
+            self.kernel = constraints.compile()
+        self.projector = ImmutableProjector(encoder)
+
+    # -- constraint bookkeeping ---------------------------------------------
+    def flag_indices(self, strategy):
+        """Mask columns defining a strategy's own feasibility flags.
+
+        Strategies trained against a specific constraint set (the core
+        method, Mahajan) are flagged against exactly that set; everything
+        else is flagged against the full kernel.
+        """
+        constraints = getattr(strategy, "constraints", None)
+        if constraints is None:
+            return list(range(len(self.kernel)))
+        try:
+            return [self.kernel.index_of(c.name) for c in constraints]
+        except ValueError:
+            return list(range(len(self.kernel)))
+
+    # -- core pipeline ------------------------------------------------------
+    def project(self, x, candidates):
+        """Immutable projection over a full ``(n, m, d)`` candidate batch."""
+        return self.projector.project(x, candidates)
+
+    def run(self, strategy, x, desired=None, return_diagnostics=False):
+        """Explain ``x`` with ``strategy``; returns a :class:`CFBatchResult`.
+
+        One strategy proposal, one broadcast projection, one validity
+        call, one fused feasibility pass — regardless of how many
+        candidates per row the strategy proposed.  Multi-candidate
+        batches are reduced to one counterfactual per row by the serving
+        selection policy: closest by L1 among valid & feasible, then
+        valid-only, then the first (deterministic) candidate.
+        """
+        batch = strategy.propose(x, desired)
+        x, desired = batch.x, batch.desired
+        n, m, d = batch.candidates.shape
+        candidates = self.project(x, batch.candidates)
+        flat = candidates.reshape(n * m, d)
+
+        predicted = self.blackbox.predict(flat)
+        report = self.kernel.evaluate(x, flat)
+        flags = report.subset_satisfied(self.flag_indices(strategy))
+        valid = predicted == np.repeat(desired, m)
+
+        if m == 1:
+            x_cf = candidates[:, 0, :]
+            chosen = np.zeros(n, dtype=int)
+            row_predicted, row_feasible = predicted, flags
+        else:
+            chosen = _select_candidates(x, candidates, valid.reshape(n, m), flags.reshape(n, m))
+            rows = np.arange(n)
+            x_cf = candidates[rows, chosen]
+            row_predicted = predicted.reshape(n, m)[rows, chosen]
+            row_feasible = flags.reshape(n, m)[rows, chosen]
+
+        result = CFBatchResult(
+            x=x,
+            x_cf=x_cf,
+            desired=desired,
+            predicted=row_predicted,
+            valid=row_predicted == desired,
+            feasible=row_feasible,
+            encoder=self.encoder,
+        )
+        if return_diagnostics:
+            diagnostics = {
+                "report": report,
+                "chosen": chosen,
+                "n_candidates": m,
+                "n_usable": (valid & flags).reshape(n, m).sum(axis=1),
+                "candidate_validity": float(valid.mean()) if valid.size else 0.0,
+            }
+            return result, diagnostics
+        return result
+
+    # -- Table IV scoring ---------------------------------------------------
+    def evaluate(
+        self,
+        strategy,
+        x,
+        desired=None,
+        stats=None,
+        x_train=None,
+        report_kinds=("unary", "binary"),
+        method_name=None,
+    ):
+        """Fit-free evaluation: one engine run scored as a Table IV row.
+
+        Produces the exact :class:`repro.metrics.MethodReport` the
+        pre-engine harness computed — validity, per-kind feasibility,
+        proximity and sparsity — reusing the run's own predict call and
+        kernel pass instead of re-evaluating the scored rows.
+        """
+        from ..metrics import evaluate_counterfactuals
+
+        result, diagnostics = self.run(strategy, x, desired, return_diagnostics=True)
+        report = diagnostics["report"]
+        m = diagnostics["n_candidates"]
+        if m > 1:
+            # keep only each row's selected candidate from the sweep mask
+            selected = np.arange(len(result.x)) * m + diagnostics["chosen"]
+            report = FeasibilityReport(report.mask_t[:, selected], report.names)
+        return evaluate_counterfactuals(
+            method_name or strategy.name,
+            result.x,
+            result.x_cf,
+            result.desired,
+            self.blackbox,
+            self.encoder,
+            stats=stats,
+            x_train=x_train,
+            report_kinds=report_kinds,
+            feasibility_report=report,
+            predicted=result.predicted,
+        )
+
+
+def _select_candidates(x, candidates, valid, feasible):
+    """Vectorized per-row candidate choice (the serving policy).
+
+    Preference order: valid & feasible, then valid, then candidate 0
+    (the deterministic decode).  Within a pool the candidate closest to
+    the input by L1 distance wins — identical to
+    ``repro.serve.service._pick_candidate`` applied row by row.
+    """
+    distances = np.abs(candidates - x[:, None, :]).sum(axis=2)
+    n, m = distances.shape
+    chosen = np.zeros(n, dtype=int)
+    pools = (valid & feasible, valid)
+    remaining = np.ones(n, dtype=bool)
+    for pool in pools:
+        useful = remaining & pool.any(axis=1)
+        if useful.any():
+            masked = np.where(pool[useful], distances[useful], np.inf)
+            chosen[useful] = np.argmin(masked, axis=1)
+            remaining &= ~useful
+    return chosen

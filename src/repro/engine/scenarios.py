@@ -1,0 +1,214 @@
+"""Declarative scenario registry: dataset x strategy x constraint config.
+
+A :class:`Scenario` names one complete explanation workload — which
+dataset to load, which strategy to run, which causal-constraint model to
+evaluate against and how the desired class is chosen.  The experiment
+harness, the CLI (``repro.cli run-scenario``) and the benchmark matrix
+all iterate the same registry, so a method x dataset x constraint sweep
+is a one-liner instead of bespoke glue per entry point.
+
+Built-in scenarios cover the full Table IV grid (every registry dataset
+times every strategy name); ``register_scenario`` adds custom entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .strategy import STRATEGY_NAMES
+
+__all__ = [
+    "Scenario",
+    "ScenarioResult",
+    "get_scenario",
+    "iter_scenarios",
+    "register_scenario",
+    "run_scenario",
+    "scenario_names",
+    "report_kinds_for",
+]
+
+
+def report_kinds_for(strategy_name):
+    """Which Table IV feasibility columns a method reports.
+
+    The core method and Mahajan train one model per constraint kind and
+    report only that column (as the paper does); constraint-agnostic
+    baselines report both.
+    """
+    for kind in ("unary", "binary"):
+        if strategy_name.endswith(f"_{kind}"):
+            return (kind,)
+    return ("unary", "binary")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named explanation workload.
+
+    Attributes
+    ----------
+    name:
+        Registry key, conventionally ``"<dataset>/<strategy>"``.
+    dataset:
+        Registered dataset name (``adult`` / ``kdd_census`` /
+        ``law_school``).
+    strategy:
+        Method name accepted by
+        :func:`repro.engine.strategy.build_strategy`.
+    constraint_kind:
+        Constraint model the *context* trains against (``unary`` or
+        ``binary``); also the artifact-store kind for warm starts.
+    desired:
+        Desired-class policy: ``"paper"`` targets the schema's desired
+        class for undesired-class rows (the paper's loan-approval
+        setup); ``"flip"`` flips each row's black-box prediction.
+    scale:
+        Default experiment scale name (overridable at run time).
+    strategy_params:
+        Extra constructor arguments for the strategy, as a tuple of
+        ``(key, value)`` pairs (tuples keep the dataclass hashable).
+    """
+
+    name: str
+    dataset: str
+    strategy: str
+    constraint_kind: str = "unary"
+    desired: str = "paper"
+    scale: str = "fast"
+    strategy_params: tuple = field(default_factory=tuple)
+
+    def params(self):
+        """``strategy_params`` as a plain dict."""
+        return dict(self.strategy_params)
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scenario run."""
+
+    scenario: Scenario
+    report: object
+    blackbox_accuracy: float
+    n_explained: int
+
+
+_SCENARIOS = {}
+
+
+def register_scenario(scenario, overwrite=False):
+    """Add a scenario to the registry; returns it.
+
+    Validates the dataset and strategy names eagerly so a sweep cannot
+    fail halfway through on a typo.
+    """
+    from ..data import dataset_names
+
+    if scenario.dataset not in dataset_names():
+        raise KeyError(
+            f"unknown dataset {scenario.dataset!r}; options: {sorted(dataset_names())}"
+        )
+    if scenario.strategy not in STRATEGY_NAMES:
+        raise KeyError(f"unknown strategy {scenario.strategy!r}; options: {STRATEGY_NAMES}")
+    if scenario.desired not in ("paper", "flip"):
+        raise ValueError(f"desired policy must be 'paper' or 'flip', got {scenario.desired!r}")
+    if not overwrite and scenario.name in _SCENARIOS:
+        raise KeyError(f"scenario {scenario.name!r} already registered")
+    _SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def _register_builtins():
+    from ..data import dataset_names
+
+    for dataset in dataset_names():
+        for strategy in STRATEGY_NAMES:
+            kind = "binary" if strategy.endswith("_binary") else "unary"
+            register_scenario(
+                Scenario(
+                    name=f"{dataset}/{strategy}",
+                    dataset=dataset,
+                    strategy=strategy,
+                    constraint_kind=kind,
+                )
+            )
+
+
+def scenario_names(dataset=None, strategy=None):
+    """Registered scenario names, optionally filtered."""
+    return [s.name for s in iter_scenarios(dataset=dataset, strategy=strategy)]
+
+
+def iter_scenarios(dataset=None, strategy=None):
+    """Iterate registered scenarios in registration order, filtered."""
+    for scenario in _SCENARIOS.values():
+        if dataset is not None and scenario.dataset != dataset:
+            continue
+        if strategy is not None and scenario.strategy != strategy:
+            continue
+        yield scenario
+
+
+def get_scenario(name):
+    """Look up a scenario by name."""
+    if name not in _SCENARIOS:
+        known = ", ".join(sorted(_SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r}; registered: {known}")
+    return _SCENARIOS[name]
+
+
+def run_scenario(scenario, scale=None, seed=0, store=None, context=None, runner=None):
+    """Run one scenario end to end; returns a :class:`ScenarioResult`.
+
+    Loads the dataset and trains the shared black-box (or warm-starts it
+    from ``store``), builds and fits the strategy, then scores it through
+    the shared engine runner.  ``context``/``runner`` allow a sweep to
+    reuse the trained context across scenarios of the same dataset.
+    """
+    from ..experiments.harness import prepare_context
+    from .runner import EngineRunner
+    from .strategy import build_strategy
+
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    if context is None:
+        context = prepare_context(
+            scenario.dataset,
+            scale=scale or scenario.scale,
+            seed=seed,
+            store=store,
+            constraint_kind=scenario.constraint_kind,
+        )
+    encoder = context.bundle.encoder
+    if runner is None:
+        runner = EngineRunner(encoder, context.blackbox)
+
+    strategy = build_strategy(
+        scenario.strategy,
+        encoder,
+        context.blackbox,
+        dataset=scenario.dataset,
+        seed=context.seed,
+        **scenario.params(),
+    )
+    strategy.fit(context.x_train, context.y_train)
+
+    desired = context.desired if scenario.desired == "paper" else None
+    report = runner.evaluate(
+        strategy,
+        context.x_explain,
+        desired,
+        stats=context.stats,
+        report_kinds=report_kinds_for(scenario.strategy),
+        method_name=scenario.strategy,
+    )
+    return ScenarioResult(
+        scenario=scenario,
+        report=report,
+        blackbox_accuracy=context.blackbox_accuracy,
+        n_explained=len(context.x_explain),
+    )
+
+
+
+_register_builtins()

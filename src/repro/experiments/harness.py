@@ -1,9 +1,10 @@
 """Experiment harness: train once, run every method, collect Table IV rows.
 
 ``prepare_context`` loads a dataset and trains the shared black-box;
-``run_method`` trains/fits one explainer and evaluates it; ``run_table4``
-produces the full method-comparison table for one dataset in the paper's
-row order.
+``run_method`` runs one scenario of the engine's registry against that
+context; ``run_table4`` sweeps the dataset's full scenario row in the
+paper's order.  All method construction and evaluation plumbing lives in
+:mod:`repro.engine` — the harness only owns the experiment state.
 """
 
 from __future__ import annotations
@@ -12,28 +13,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..baselines import (
-    CCHVAEExplainer,
-    CEMExplainer,
-    DiceRandomExplainer,
-    FACEExplainer,
-    MahajanExplainer,
-    ReviseExplainer,
-)
-from ..core import FeasibleCFExplainer, paper_config
-from ..metrics import ProximityStats, evaluate_counterfactuals
+from ..engine import EngineRunner, get_scenario, run_scenario
+from ..engine.strategy import STRATEGY_NAMES
+from ..metrics import ProximityStats
 from ..models import accuracy
 from .runconfig import get_scale
 
 __all__ = ["ExperimentContext", "prepare_context", "run_method", "run_table4",
            "TABLE4_METHOD_ORDER"]
 
-#: Row order of the paper's Table IV.
-TABLE4_METHOD_ORDER = (
-    "mahajan_unary", "mahajan_binary",
-    "revise", "cchvae", "cem", "dice_random", "face",
-    "ours_unary", "ours_binary",
-)
+#: Row order of the paper's Table IV (the engine's strategy name order).
+TABLE4_METHOD_ORDER = STRATEGY_NAMES
 
 
 @dataclass
@@ -107,61 +97,26 @@ def prepare_context(dataset, scale="fast", seed=0, store=None,
     )
 
 
-def _build_method(context, method_name):
-    """Instantiate (explainer, report_kinds, generate callable)."""
-    encoder = context.bundle.encoder
-    blackbox = context.blackbox
-    dataset = context.dataset
-    seed = context.seed
+def run_method(context, method_name, runner=None):
+    """Fit one method and return its :class:`MethodReport` (Table IV row).
 
-    if method_name in ("ours_unary", "ours_binary"):
-        kind = method_name.split("_")[1]
-        explainer = FeasibleCFExplainer(
-            encoder, constraint_kind=kind, config=paper_config(dataset, kind),
-            blackbox=blackbox, seed=seed)
-        explainer.fit(context.x_train, context.y_train)
-        return explainer, (kind,), \
-            lambda x, desired: explainer.explain(x, desired).x_cf
-    if method_name in ("mahajan_unary", "mahajan_binary"):
-        kind = method_name.split("_")[1]
-        explainer = MahajanExplainer(
-            encoder, blackbox, constraint_kind=kind,
-            config=paper_config(dataset, kind), seed=seed)
-        explainer.fit(context.x_train, context.y_train)
-        return explainer, (kind,), explainer.generate
-
-    classes = {
-        "revise": ReviseExplainer,
-        "cchvae": CCHVAEExplainer,
-        "cem": CEMExplainer,
-        "dice_random": DiceRandomExplainer,
-        "face": FACEExplainer,
-    }
-    if method_name not in classes:
-        raise KeyError(f"unknown method {method_name!r}; "
-                       f"options: {TABLE4_METHOD_ORDER}")
-    explainer = classes[method_name](encoder, blackbox, seed=seed)
-    explainer.fit(context.x_train, context.y_train)
-    return explainer, ("unary", "binary"), explainer.generate
-
-
-def run_method(context, method_name):
-    """Fit one method and return its :class:`MethodReport` (Table IV row)."""
-    _, report_kinds, generate = _build_method(context, method_name)
-    x_cf = generate(context.x_explain, context.desired)
-    return evaluate_counterfactuals(
-        method_name, context.x_explain, x_cf, context.desired,
-        context.blackbox, context.bundle.encoder, stats=context.stats,
-        report_kinds=report_kinds)
+    A thin wrapper over the engine's scenario registry: the scenario
+    named ``"<dataset>/<method>"`` runs against the already-prepared
+    context, so the shared black-box trains exactly once per sweep.
+    """
+    scenario = get_scenario(f"{context.dataset}/{method_name}")
+    result = run_scenario(scenario, context=context, runner=runner)
+    return result.report
 
 
 def run_table4(dataset, scale="fast", seed=0, methods=TABLE4_METHOD_ORDER,
                verbose=False):
     """Run every Table IV method on ``dataset``; returns the report list."""
     context = prepare_context(dataset, scale=scale, seed=seed)
+    runner = EngineRunner(context.bundle.encoder, context.blackbox)
     reports = []
     for method_name in methods:
-        report = run_method(context, method_name)
+        report = run_method(context, method_name, runner=runner)
         reports.append(report)
         if verbose:
             print(f"  {method_name:<14} validity={report.validity:6.2f} "

@@ -17,6 +17,12 @@ about ("as fast as the hardware allows"):
   :class:`repro.serve.ExplanationService`, plus the cache-hit replay
   rate.  Warm-start outputs are asserted bit-identical to the cold
   pipeline before any number is reported.
+* **constraint-eval** — the compiled feasibility kernel
+  (:meth:`repro.constraints.ConstraintSet.compile`) against the
+  per-constraint loop evaluator on a candidate-sweep feasibility report
+  (AND-flags, per-kind rates, per-constraint rates).  The two outputs
+  are asserted identical before timing, and the compiled path must hold
+  a >= 3x speedup.
 
 The workload is fixed per scale so numbers are comparable across
 commits; ``PRE_PR_BASELINE`` pins the numbers measured with this exact
@@ -42,7 +48,13 @@ from ..core.selection import generate_candidates
 from ..data import load_dataset
 from ..models import BlackBoxClassifier, train_classifier
 
-__all__ = ["PERF_SCALES", "PRE_PR_BASELINE", "run_perfbench", "write_bench"]
+__all__ = ["MIN_KERNEL_SPEEDUP", "PERF_SCALES", "PRE_PR_BASELINE",
+           "run_perfbench", "write_bench"]
+
+#: Acceptance floor: the compiled feasibility kernel must beat the
+#: per-constraint loop evaluator by at least this factor (the single
+#: definition — the bench-runner gate imports it from here).
+MIN_KERNEL_SPEEDUP = 3.0
 
 #: Workload definitions.  ``smoke`` finishes in well under a minute and is
 #: what CI runs; ``full`` is for local trajectory tracking.
@@ -57,6 +69,8 @@ PERF_SCALES = {
         "n_candidates": 16,
         "cf_epochs": 3,
         "serve_rows": 64,
+        "constraint_rows": 64,
+        "constraint_candidates": 24,
         "min_seconds": 1.0,
     },
     "full": {
@@ -69,6 +83,8 @@ PERF_SCALES = {
         "n_candidates": 24,
         "cf_epochs": 6,
         "serve_rows": 256,
+        "constraint_rows": 128,
+        "constraint_candidates": 32,
         "min_seconds": 1.5,
     },
 }
@@ -142,6 +158,98 @@ def _float32_predict_rate(blackbox, batch, min_seconds, seed):
 
     rate, _ = _throughput(predict_once, len(batch32), min_seconds)
     return rate
+
+
+def _feasibility_report_loop(encoder, constraints, x, x_cf, m):
+    """The pre-engine feasibility workload, per explained candidate sweep.
+
+    Exactly what the stack did before the compiled kernel existed to
+    produce one batch's feasibility report: materialise the repeated
+    input matrix, AND-flags via the per-constraint loop, rebuild one
+    constraint set per kind for the Table IV rates, and one more
+    evaluation per constraint for the per-constraint rates.  Kept as the
+    throughput *and* parity reference the compiled path is compared
+    against.
+    """
+    from ..constraints import build_constraints
+    from ..metrics.scores import feasibility_score
+
+    inputs = np.repeat(x, m, axis=0)
+    flags = constraints.satisfied(inputs, x_cf)
+    kind_rates = {
+        kind: feasibility_score(build_constraints(encoder, kind), inputs, x_cf)
+        for kind in ("unary", "binary")
+    }
+    per_constraint = {
+        constraint.name: constraint.satisfaction_rate(inputs, x_cf)
+        for constraint in constraints
+    }
+    return flags, kind_rates, per_constraint
+
+
+def _constraint_eval_section(bundle, spec, min_seconds, seed):
+    """Time the compiled feasibility kernel against the loop evaluator.
+
+    The workload is the engine's hot shape: a feasibility report
+    (AND-flags + per-kind rates + per-constraint rates) for
+    ``constraint_rows`` inputs with ``constraint_candidates`` decoded
+    candidates each.  Outputs are asserted identical before timing, and
+    the section refuses to report a speedup below the 3x acceptance
+    floor.
+    """
+    from ..constraints import build_constraints
+
+    encoder = bundle.encoder
+    n = spec["constraint_rows"]
+    m = spec["constraint_candidates"]
+    x = bundle.encoded[:n]
+    rng = np.random.default_rng(seed + 77)
+    x_cf = np.clip(
+        np.repeat(x, m, axis=0) + rng.normal(0.0, 0.05, (n * m, x.shape[1])),
+        0.0, 1.0)
+
+    constraints = build_constraints(encoder, "binary")
+    kernel = constraints.compile()
+    kind_members = {
+        kind: [kernel.index_of(c.name)
+               for c in build_constraints(encoder, kind)]
+        for kind in ("unary", "binary")
+    }
+
+    def compiled_report():
+        report = kernel.evaluate(x, x_cf)
+        kind_rates = {kind: report.subset_rate(indices) * 100.0
+                      for kind, indices in kind_members.items()}
+        return report.satisfied, kind_rates, report.per_constraint_rates
+
+    flags_loop, kinds_loop, per_loop = _feasibility_report_loop(
+        encoder, constraints, x, x_cf, m)
+    flags_fast, kinds_fast, per_fast = compiled_report()
+    if not np.array_equal(flags_loop, flags_fast) or kinds_loop != kinds_fast \
+            or per_loop != per_fast:
+        raise AssertionError(
+            "compiled feasibility kernel diverges from the loop evaluator")
+
+    loop_rate, loop_calls = _throughput(
+        lambda: _feasibility_report_loop(encoder, constraints, x, x_cf, m),
+        n, min_seconds)
+    fast_rate, fast_calls = _throughput(compiled_report, n, min_seconds)
+    speedup = fast_rate / loop_rate
+    if speedup < MIN_KERNEL_SPEEDUP:
+        raise AssertionError(
+            f"compiled kernel speedup {speedup:.2f}x is below the "
+            f"{MIN_KERNEL_SPEEDUP}x floor")
+
+    return {
+        "rows": n,
+        "n_candidates": m,
+        "constraints": len(constraints),
+        "rows_per_sec": round(fast_rate, 1),
+        "rows_per_sec_loop": round(loop_rate, 1),
+        "candidates_per_sec": round(fast_rate * m, 1),
+        "speedup_compiled_vs_loop": round(speedup, 2),
+        "calls": fast_calls + loop_calls,
+    }
 
 
 def _serve_section(spec, seed):
@@ -277,6 +385,8 @@ def run_perfbench(scale="smoke", seed=0):
             "n_candidates": spec["n_candidates"],
             "calls": candidate_calls,
         },
+        "constraint_eval": _constraint_eval_section(
+            bundle, spec, min_seconds, seed),
         "serve": _serve_section(spec, seed),
     }
     if scale == PRE_PR_BASELINE["scale"]:

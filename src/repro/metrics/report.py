@@ -45,7 +45,8 @@ class MethodReport:
 
 
 def evaluate_counterfactuals(method_name, x, x_cf, desired, blackbox, encoder,
-                             stats=None, x_train=None, report_kinds=("unary", "binary")):
+                             stats=None, x_train=None, report_kinds=("unary", "binary"),
+                             feasibility_report=None, predicted=None):
     """Compute the full metric bundle for one method's counterfactuals.
 
     Parameters
@@ -66,6 +67,18 @@ def evaluate_counterfactuals(method_name, x, x_cf, desired, blackbox, encoder,
         Training matrix used to fit ``stats`` if not supplied.
     report_kinds:
         Which feasibility columns to fill; others become None.
+    feasibility_report:
+        Optional precomputed :class:`repro.engine.FeasibilityReport`
+        whose rows align with ``x_cf`` (the engine runner passes the
+        report of the run being scored): a requested kind whose
+        constraints are all in the report is answered from it without
+        re-evaluating anything.  Kinds the report does not cover — or
+        every kind, when no report is given — fall back to the
+        per-constraint loop (the parity reference).  Rates are identical
+        either way.
+    predicted:
+        Optional precomputed black-box classes of ``x_cf``; skips the
+        validity-column predict call.
     """
     x = np.asarray(x)
     x_cf = np.asarray(x_cf)
@@ -74,17 +87,30 @@ def evaluate_counterfactuals(method_name, x, x_cf, desired, blackbox, encoder,
             raise ValueError("provide either fitted stats or x_train")
         stats = ProximityStats(encoder).fit(x_train)
 
+    names = [] if feasibility_report is None else list(feasibility_report.names)
     feasibility = {}
     for kind in ("unary", "binary"):
-        if kind in report_kinds:
-            constraints = build_constraints(encoder, kind)
-            feasibility[kind] = feasibility_score(constraints, x, x_cf)
-        else:
+        if kind not in report_kinds:
             feasibility[kind] = None
+            continue
+        members = build_constraints(encoder, kind)
+        if all(c.name in names for c in members):
+            indices = [names.index(c.name) for c in members]
+            feasibility[kind] = feasibility_report.subset_rate(indices) * 100.0
+        else:
+            feasibility[kind] = feasibility_score(members, x, x_cf)
+
+    if predicted is None:
+        validity = validity_score(blackbox, x_cf, desired)
+    else:
+        # identical semantics to validity_score, minus the predict call
+        desired_classes = np.asarray(desired, dtype=int)
+        validity = float((np.asarray(predicted) == desired_classes).mean() * 100.0) \
+            if len(desired_classes) else 0.0
 
     return MethodReport(
         method=method_name,
-        validity=validity_score(blackbox, x_cf, desired),
+        validity=validity,
         feasibility_unary=feasibility["unary"],
         feasibility_binary=feasibility["binary"],
         continuous_proximity=continuous_proximity(x, x_cf, encoder, stats),

@@ -7,6 +7,13 @@ rebuilt from an :class:`~repro.serve.store.ArtifactStore`), answers
 per-row results in an LRU cache keyed on the pipeline fingerprint, and
 coalesces queued single-row requests into one vectorized
 ``generate_candidates`` sweep.
+
+The service is strategy-agnostic: pass any fitted
+:class:`repro.engine.CFStrategy` (a baseline, or a diverse-candidate
+core strategy) and batches route through the shared
+:class:`repro.engine.EngineRunner` instead of the core generator.  Cache
+keys carry a strategy fingerprint, so results from different strategies
+never collide.
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ import numpy as np
 
 from ..core.result import CFBatchResult
 from ..core.selection import generate_candidates
+from ..engine import EngineRunner
 from ..utils.validation import check_encoded_rows
 from .cache import LRUResultCache
 
@@ -59,12 +67,20 @@ class ExplanationService:
         loaded from a store).
     cache_size:
         LRU result-cache capacity in rows; ``0`` disables caching.
+    strategy:
+        Optional fitted :class:`repro.engine.CFStrategy`.  When given,
+        cache-miss rows are explained by that strategy through the shared
+        engine runner instead of the pipeline's core generator.
     """
 
-    def __init__(self, pipeline, cache_size=4096):
+    def __init__(self, pipeline, cache_size=4096, strategy=None):
         self.pipeline = pipeline
         self.explainer = pipeline.explainer
+        self.strategy = strategy
         self.fingerprint = pipeline.fingerprint
+        self._fingerprinted_strategy = strategy
+        self._strategy_fingerprint = strategy.fingerprint() if strategy is not None else "core"
+        self._runner = None
         self.cache = LRUResultCache(cache_size)
         self._pending = []
         self.batches_served = 0
@@ -74,14 +90,24 @@ class ExplanationService:
 
     # -- construction --------------------------------------------------------
     @classmethod
-    def warm_start(cls, store, name, expected_fingerprint=None, cache_size=4096):
+    def warm_start(cls, store, name, expected_fingerprint=None, cache_size=4096, strategy=None):
         """Build a service from a stored artifact without any training.
 
-        Raises the store's ``ArtifactError``/``StaleArtifactError`` when
-        the artifact is missing, corrupted or stale.
+        ``strategy`` serves a non-core strategy on top of the warm-started
+        pipeline (the store persists the shared black-box and CF-VAE; the
+        strategy itself arrives fitted).  Raises the store's
+        ``ArtifactError``/``StaleArtifactError`` when the artifact is
+        missing, corrupted or stale.
         """
         pipeline = store.load(name, expected_fingerprint=expected_fingerprint)
-        return cls(pipeline, cache_size=cache_size)
+        return cls(pipeline, cache_size=cache_size, strategy=strategy)
+
+    @property
+    def runner(self):
+        """Shared engine runner over the pipeline (built lazily)."""
+        if self._runner is None:
+            self._runner = EngineRunner(self.encoder, self.explainer.blackbox)
+        return self._runner
 
     @property
     def encoder(self):
@@ -106,8 +132,28 @@ class ExplanationService:
             raise ValueError(f"desired ({len(desired)}) and rows ({len(rows)}) counts differ")
         return desired
 
+    @property
+    def strategy_fingerprint(self):
+        """Fingerprint of the currently served strategy (``"core"`` if none).
+
+        Recomputed when ``self.strategy`` is re-pointed, so a service can
+        switch strategies without serving stale cross-strategy cache
+        hits.
+        """
+        if self.strategy is not self._fingerprinted_strategy:
+            self._fingerprinted_strategy = self.strategy
+            self._strategy_fingerprint = (
+                self.strategy.fingerprint() if self.strategy is not None else "core"
+            )
+        return self._strategy_fingerprint
+
+    @property
+    def cache_fingerprint(self):
+        """Composite cache-key component: pipeline plus strategy identity."""
+        return f"{self.pipeline.fingerprint}:{self.strategy_fingerprint}"
+
     def _key(self, row, desired):
-        return (row.tobytes(), int(desired), self.fingerprint)
+        return (row.tobytes(), int(desired), self.cache_fingerprint)
 
     # -- batch serving -------------------------------------------------------
     def explain_batch(self, rows, desired=None):
@@ -138,10 +184,15 @@ class ExplanationService:
             miss = np.asarray(miss_indices)
             sub_rows = rows[miss]
             sub_desired = desired[miss]
-            generator = self.explainer.generator
-            sub_cf = generator.generate(sub_rows, sub_desired)
-            sub_predicted = self.explainer.blackbox.predict(sub_cf)
-            sub_feasible = self.explainer.constraints.satisfied(sub_rows, sub_cf)
+            if self.strategy is not None:
+                sub = self.runner.run(self.strategy, sub_rows, sub_desired)
+                sub_cf, sub_predicted = sub.x_cf, sub.predicted
+                sub_feasible = sub.feasible
+            else:
+                generator = self.explainer.generator
+                sub_cf = generator.generate(sub_rows, sub_desired)
+                sub_predicted = self.explainer.blackbox.predict(sub_cf)
+                sub_feasible = self.explainer.compiled_constraints.satisfied(sub_rows, sub_cf)
             x_cf[miss] = sub_cf
             predicted[miss] = sub_predicted
             feasible[miss] = sub_feasible
@@ -186,14 +237,17 @@ class ExplanationService:
         return len(self._pending)
 
     def flush(self, n_candidates=8, rng=None):
-        """Resolve every pending ticket with one vectorized candidate sweep.
+        """Resolve every pending ticket with one vectorized sweep.
 
-        Stacks all queued rows, runs a single
+        Stacks all queued rows and answers them in ONE pass.  On the
+        default core path that is a single
         :func:`~repro.core.selection.generate_candidates` call (batched
-        decode + one validity call + one feasibility call) and picks, per
-        ticket, the closest candidate by L1 distance among valid &
-        feasible ones (falling back to valid-only, then to the
-        deterministic candidate).  Returns the resolved tickets.
+        decode + one validity call + one feasibility call) with the
+        closest valid & feasible candidate picked per ticket; a
+        strategy-configured service instead routes the stacked rows
+        through one engine-runner pass of its strategy, so tickets and
+        ``explain_batch`` always answer with the same method.  Returns
+        the resolved tickets.
         """
         if not self._pending:
             return []
@@ -207,23 +261,37 @@ class ExplanationService:
             flipped = 1 - self.explainer.blackbox.predict(rows)
             desired = np.where(desired < 0, flipped, desired)
 
-        candidate_sets = generate_candidates(
-            self.explainer,
-            rows,
-            n_candidates=n_candidates,
-            desired=desired,
-            rng=rng,
-        )
-        for ticket, candidate_set, target in zip(tickets, candidate_sets, desired):
-            index = _pick_candidate(candidate_set)
-            ticket._result = {
-                "x_cf": candidate_set.candidates[index],
-                "desired": int(target),
-                "valid": bool(candidate_set.valid[index]),
-                "feasible": bool(candidate_set.feasible[index]),
-                "chosen": index,
-                "n_usable": int(candidate_set.usable_mask.sum()),
-            }
+        if self.strategy is not None:
+            result, diagnostics = self.runner.run(
+                self.strategy, rows, desired, return_diagnostics=True
+            )
+            for i, (ticket, target) in enumerate(zip(tickets, desired)):
+                ticket._result = {
+                    "x_cf": result.x_cf[i],
+                    "desired": int(target),
+                    "valid": bool(result.valid[i]),
+                    "feasible": bool(result.feasible[i]),
+                    "chosen": int(diagnostics["chosen"][i]),
+                    "n_usable": int(diagnostics["n_usable"][i]),
+                }
+        else:
+            candidate_sets = generate_candidates(
+                self.explainer,
+                rows,
+                n_candidates=n_candidates,
+                desired=desired,
+                rng=rng,
+            )
+            for ticket, candidate_set, target in zip(tickets, candidate_sets, desired):
+                index = _pick_candidate(candidate_set)
+                ticket._result = {
+                    "x_cf": candidate_set.candidates[index],
+                    "desired": int(target),
+                    "valid": bool(candidate_set.valid[index]),
+                    "feasible": bool(candidate_set.feasible[index]),
+                    "chosen": index,
+                    "n_usable": int(candidate_set.usable_mask.sum()),
+                }
         self.flushes += 1
         self.rows_coalesced += len(tickets)
         return tickets

@@ -1,0 +1,74 @@
+"""Satisfaction-rate edge cases: 0-row batches and 2-D satisfaction masks.
+
+``satisfaction_rate`` uses ``flags.size`` (not ``len(flags)``), so an
+empty evaluation is vacuously satisfied regardless of mask dimensionality
+and a 2-D per-column mask averages over every element.
+"""
+
+import numpy as np
+
+from repro.constraints import ConstraintSet
+from repro.constraints.base import Constraint
+
+
+class _RowFlags(Constraint):
+    name = "rows"
+
+    def satisfied(self, x, x_cf):
+        return np.asarray(x_cf)[:, 0] >= np.asarray(x)[:, 0]
+
+    def penalty(self, x, x_cf):  # pragma: no cover - unused
+        raise NotImplementedError
+
+
+class _MatrixFlags(Constraint):
+    """Audit-style constraint returning a per-column drift matrix."""
+
+    name = "matrix"
+
+    def satisfied(self, x, x_cf):
+        return np.asarray(x_cf) >= np.asarray(x)
+
+    def penalty(self, x, x_cf):  # pragma: no cover - unused
+        raise NotImplementedError
+
+
+class TestConstraintRate:
+    def test_zero_rows_is_vacuously_satisfied(self):
+        empty = np.zeros((0, 3))
+        assert _RowFlags().satisfaction_rate(empty, empty) == 1.0
+        assert _MatrixFlags().satisfaction_rate(empty, empty) == 1.0
+
+    def test_two_dimensional_mask_averages_elements(self):
+        x = np.zeros((2, 2))
+        x_cf = np.array([[1.0, 1.0], [-1.0, 1.0]])
+        # 3 of 4 elements satisfied
+        assert _MatrixFlags().satisfaction_rate(x, x_cf) == 0.75
+
+    def test_row_mask_unchanged(self):
+        x = np.zeros((4, 2))
+        x_cf = np.array([[1.0, 0], [1.0, 0], [-1.0, 0], [-1.0, 0]])
+        assert _RowFlags().satisfaction_rate(x, x_cf) == 0.5
+
+
+class TestConstraintSetRate:
+    def test_zero_rows(self):
+        empty = np.zeros((0, 3))
+        group = ConstraintSet([_RowFlags()])
+        assert group.satisfaction_rate(empty, empty) == 1.0
+        assert group.satisfied(empty, empty).shape == (0,)
+        assert group.satisfied_matrix(empty, empty).shape == (0, 1)
+
+    def test_empty_set(self):
+        x = np.zeros((3, 2))
+        assert ConstraintSet(()).satisfaction_rate(x, x) == 1.0
+        assert ConstraintSet(()).satisfied_matrix(x, x).shape == (3, 0)
+
+    def test_matrix_columns_match_members(self):
+        x = np.zeros((3, 2))
+        x_cf = np.array([[1.0, 1.0], [-1.0, 1.0], [1.0, -1.0]])
+        group = ConstraintSet([_RowFlags(), _RowFlags()])
+        matrix = group.satisfied_matrix(x, x_cf)
+        np.testing.assert_array_equal(matrix[:, 0], matrix[:, 1])
+        np.testing.assert_array_equal(
+            group.satisfied(x, x_cf), matrix.all(axis=1))

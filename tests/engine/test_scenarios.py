@@ -1,0 +1,112 @@
+"""Scenario registry: completeness, validation and an end-to-end run."""
+
+import numpy as np
+import pytest
+
+from repro.data import dataset_names
+from repro.engine import (
+    Scenario,
+    get_scenario,
+    iter_scenarios,
+    register_scenario,
+    run_scenario,
+    scenario_names,
+)
+from repro.engine.scenarios import report_kinds_for
+from repro.engine.strategy import STRATEGY_NAMES
+from repro.experiments.runconfig import ExperimentScale
+
+
+class TestRegistry:
+    def test_builtin_grid_is_complete(self):
+        names = scenario_names()
+        assert len(names) == len(dataset_names()) * len(STRATEGY_NAMES)
+        for dataset in dataset_names():
+            for strategy in STRATEGY_NAMES:
+                assert f"{dataset}/{strategy}" in names
+
+    def test_filters(self):
+        adult = list(iter_scenarios(dataset="adult"))
+        assert len(adult) == len(STRATEGY_NAMES)
+        face = list(iter_scenarios(strategy="face"))
+        assert {s.dataset for s in face} == set(dataset_names())
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario("adult/gandalf")
+
+    def test_binary_methods_use_binary_kind(self):
+        assert get_scenario("adult/ours_binary").constraint_kind == "binary"
+        assert get_scenario("adult/ours_unary").constraint_kind == "unary"
+
+    def test_register_validates_names(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            register_scenario(Scenario("x", "mordor", "cem"))
+        with pytest.raises(KeyError, match="unknown strategy"):
+            register_scenario(Scenario("x", "adult", "gandalf"))
+        with pytest.raises(ValueError, match="desired policy"):
+            register_scenario(Scenario("x", "adult", "cem", desired="maybe"))
+        with pytest.raises(KeyError, match="already registered"):
+            register_scenario(Scenario("adult/cem", "adult", "cem"))
+
+    def test_register_custom_and_overwrite(self):
+        scenario = Scenario(
+            "test/custom-cem", "adult", "cem",
+            strategy_params=(("steps", 10),))
+        try:
+            register_scenario(scenario)
+            assert get_scenario("test/custom-cem").params() == {"steps": 10}
+            register_scenario(scenario, overwrite=True)
+        finally:
+            from repro.engine import scenarios as module
+            module._SCENARIOS.pop("test/custom-cem", None)
+
+    def test_report_kinds(self):
+        assert report_kinds_for("ours_unary") == ("unary",)
+        assert report_kinds_for("mahajan_binary") == ("binary",)
+        assert report_kinds_for("face") == ("unary", "binary")
+
+
+class TestRunScenario:
+    def test_end_to_end_tiny(self):
+        scale = ExperimentScale("tiny", 900, 12, 4)
+        result = run_scenario("adult/cem", scale=scale, seed=0)
+        report = result.report
+        assert report.method == "cem"
+        assert report.n_instances == result.n_explained
+        assert report.feasibility_unary is not None
+        assert report.feasibility_binary is not None
+        assert 0.0 <= report.validity <= 100.0
+        assert result.blackbox_accuracy > 0.5
+
+    def test_context_reuse_matches_fresh_run(self):
+        from repro.experiments.harness import prepare_context
+
+        scale = ExperimentScale("tiny", 900, 12, 4)
+        context = prepare_context("adult", scale=scale, seed=0)
+        reused = run_scenario("adult/cem", context=context)
+        fresh = run_scenario("adult/cem", scale=scale, seed=0)
+        assert reused.report == fresh.report
+
+    def test_flip_policy(self):
+        scale = ExperimentScale("tiny", 900, 12, 4)
+        from repro.engine import scenarios as module
+
+        scenario = Scenario("test/flip-cem", "adult", "cem", desired="flip",
+                            strategy_params=(("steps", 15),))
+        try:
+            register_scenario(scenario)
+            result = run_scenario("test/flip-cem", scale=scale, seed=0)
+            assert result.report.method == "cem"
+        finally:
+            module._SCENARIOS.pop("test/flip-cem", None)
+
+    def test_accepts_scenario_object(self):
+        scale = ExperimentScale("tiny", 900, 12, 4)
+        scenario = get_scenario("adult/dice_random")
+        result = run_scenario(
+            Scenario("inline", scenario.dataset, scenario.strategy,
+                     strategy_params=(("max_attempts", 5),)),
+            scale=scale, seed=0)
+        assert result.report.method == "dice_random"
+        assert np.isfinite(result.report.sparsity)

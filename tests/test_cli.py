@@ -9,7 +9,8 @@ class TestParser:
     def test_commands_accepted(self):
         parser = build_parser()
         for command in ("table1", "table2", "table3", "table4", "table5",
-                        "figure6", "discover", "serve-demo", "all"):
+                        "figure6", "discover", "serve-demo", "run-scenario",
+                        "list-scenarios", "all"):
             args = parser.parse_args([command])
             assert args.command == command
 
@@ -70,3 +71,39 @@ class TestExecution:
                      "--artifact-dir", str(store_dir)])
         assert code == 0
         assert "cache hit" in capsys.readouterr().out
+
+    def test_serve_demo_with_baseline_strategy(self, capsys, tmp_path):
+        code = main(["serve-demo", "--scale", "smoke", "--rows", "16",
+                     "--artifact-dir", str(tmp_path / "store"),
+                     "--strategy", "dice_random"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "strategy dice_random" in out
+        assert "fit strategy" in out
+
+    def test_list_scenarios(self, capsys, tmp_path):
+        code = main(["list-scenarios", "--out", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "adult/face" in out
+        assert "law_school/ours_binary" in out
+        assert (tmp_path / "scenarios.txt").exists()
+
+    def test_list_scenarios_filtered(self, capsys):
+        assert main(["list-scenarios", "--strategy", "face"]) == 0
+        out = capsys.readouterr().out
+        assert "adult/face" in out
+        assert "adult/cem" not in out
+
+    def test_run_scenario_requires_name(self, capsys):
+        assert main(["run-scenario"]) == 2
+        assert "requires --scenario" in capsys.readouterr().out
+
+    def test_run_scenario_smoke(self, capsys, tmp_path):
+        code = main(["run-scenario", "--scenario", "adult/dice_random",
+                     "--scale", "smoke", "--out", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SCENARIO adult/dice_random" in out
+        assert "validity" in out
+        assert (tmp_path / "scenario_adult_dice_random.txt").exists()

@@ -19,11 +19,14 @@ def gate():
     return module
 
 
-def _results(train=100.0, predict=1000.0, candidates=500.0):
+def _results(train=100.0, predict=1000.0, candidates=500.0,
+             constraint_eval=2000.0, scenarios=50.0):
     return {
         "train": {"rows_per_sec": train},
         "predict": {"rows_per_sec": predict},
         "candidates": {"rows_per_sec": candidates},
+        "constraint_eval": {"rows_per_sec": constraint_eval},
+        "scenario_matrix": {"min_rows_per_sec": scenarios},
     }
 
 
@@ -31,7 +34,29 @@ class TestCompare:
     def test_no_regression_passes(self, gate):
         rows, failures = gate.compare(_results(), _results(predict=990.0))
         assert failures == []
-        assert len(rows) == 3
+        assert len(rows) == 5
+
+    def test_constraint_eval_is_gated(self, gate):
+        _, failures = gate.compare(_results(), _results(constraint_eval=100.0))
+        assert len(failures) == 1
+        assert "constraint_eval" in failures[0]
+
+    def test_scenario_matrix_is_informational(self, gate):
+        rows, failures = gate.compare(_results(), _results(scenarios=1.0))
+        assert failures == []
+        row = [r for r in rows if r[0] == "scenario_matrix"][0]
+        assert row[5] is False  # not gated
+
+    def test_missing_section_skips_gracefully(self, gate):
+        old = _results()
+        del old["constraint_eval"]
+        del old["scenario_matrix"]
+        rows, failures = gate.compare(old, _results())
+        assert failures == []
+        skipped = [r for r in rows if r[2] != r[2]]  # NaN baseline
+        assert {r[0] for r in skipped} == {"constraint_eval", "scenario_matrix"}
+        markdown = gate.render_markdown(rows, 0.30)
+        assert "no baseline" in markdown
 
     def test_improvement_passes(self, gate):
         _, failures = gate.compare(_results(), _results(predict=5000.0))
