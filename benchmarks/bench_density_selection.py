@@ -31,8 +31,7 @@ def test_density_selection(benchmark, adult_context, artifact_dir):
     deterministic = explainer.explain(x, context.desired[:30]).x_cf
     proximity_only = DensityCFSelector(
         explainer, density_weight=1e-9, k_neighbors=8)
-    proximity_only._tree = selector._tree
-    proximity_only._reference = selector._reference
+    proximity_only.density_model = selector.density_model
     x_cf_proximal, _ = proximity_only.explain(x, n_candidates=15)
 
     rows = [

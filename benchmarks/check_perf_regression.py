@@ -33,6 +33,7 @@ GATED_METRICS = {
     "predict": "rows_per_sec",
     "candidates": "rows_per_sec",
     "constraint_eval": "rows_per_sec",
+    "density": "rows_per_sec",
 }
 
 #: Reported in the table but never failing: training throughput and the

@@ -16,6 +16,10 @@ The package is organised bottom-up:
   feasibility kernel, the ``CFStrategy`` API every method implements,
   the shared runner and the scenario registry (see
   ``docs/architecture.md``).
+* :mod:`repro.density` -- the unified density layer: one batch-first
+  ``DensityModel`` (k-NN / KDE / CF-VAE latent) behind Figure 3
+  selection, FACE's graph, the engine's density column and warm-started
+  density-aware serving (see ``docs/density.md``).
 * :mod:`repro.metrics` -- the five evaluation metrics of Section IV-D.
 * :mod:`repro.manifold` -- from-scratch t-SNE plus density diagnostics
   for the Figure 6 manifolds.

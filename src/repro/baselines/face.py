@@ -16,8 +16,8 @@ from __future__ import annotations
 import numpy as np
 from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import dijkstra
-from scipy.spatial import cKDTree
 
+from ..density import KnnDensity
 from .base import BaseCFExplainer
 
 __all__ = ["FACEExplainer"]
@@ -50,7 +50,7 @@ class FACEExplainer(BaseCFExplainer):
         self.max_vertices = int(max_vertices)
         self.density_weight = float(density_weight)
         self._vertices = None
-        self._tree = None
+        self._density = None
         self._dist_to_target = None
         self._target_of = None
         self._mean_edge = None
@@ -68,11 +68,14 @@ class FACEExplainer(BaseCFExplainer):
         else:
             vertices = x_train.copy()
         self._vertices = vertices
-        self._tree = cKDTree(vertices)
+        # the shared density layer owns the vertex index: the same
+        # estimator answers graph-degree queries here, entry queries in
+        # _generate and (via density_score) ad-hoc density questions
+        self._density = KnnDensity(k_neighbors=self.k_neighbors).fit(vertices)
 
         n = len(vertices)
         k = min(self.k_neighbors + 1, n)
-        distances, neighbors = self._tree.query(vertices, k=k)
+        distances, neighbors = self._density.query(vertices, k=k)
         distances, neighbors = distances[:, 1:], neighbors[:, 1:]  # drop self
         self._mean_edge = float(distances.mean())
 
@@ -115,9 +118,13 @@ class FACEExplainer(BaseCFExplainer):
             seen += 1
         return current
 
+    def density_score(self, x):
+        """Mean vertex k-NN distance of ``x`` (the shared estimator's cost)."""
+        return self._density.score(x)
+
     def _generate(self, x, desired):
         k = min(self.k_neighbors, len(self._vertices))
-        distances, neighbors = self._tree.query(x, k=k)
+        distances, neighbors = self._density.query(x, k=k)
         if k == 1:
             distances = distances[:, None]
             neighbors = neighbors[:, None]

@@ -56,6 +56,12 @@ def build_parser():
                         help="strategy name filter (list-scenarios) or the "
                              "strategy serve-demo serves instead of the core "
                              "generator, e.g. dice_random")
+    parser.add_argument("--density", default=None,
+                        choices=["knn", "kde", "latent"],
+                        help="density estimator: run-scenario runs the "
+                             "scenario's density variant; serve-demo fits it, "
+                             "persists it to the artifact store and serves "
+                             "density-aware from the warm start")
     return parser
 
 
@@ -115,7 +121,7 @@ def _run_discover(dataset, scale, seed, out_dir):
 
 
 def _run_serve_demo(dataset, scale, seed, out_dir, artifact_dir, rows,
-                    strategy_name=None):
+                    strategy_name=None, density_name=None):
     """Train-or-load an artifact, then serve a warm-start batch twice.
 
     Demonstrates the full serving loop: ensure a fresh artifact in the
@@ -124,7 +130,13 @@ def _run_serve_demo(dataset, scale, seed, out_dir, artifact_dir, rows,
     the result cache, and report the cold/warm timings.  With
     ``--strategy`` the service serves that baseline strategy (fitted on
     the training split) on top of the warm-started pipeline instead of
-    the core generator.
+    the core generator.  With ``--density`` the named estimator is
+    fitted on the desired-class training rows, persisted next to the
+    artifact and served from the warm start (``density="store"``): the
+    default core path then picks each row's counterfactual from a
+    diverse candidate sweep by the Figure 3 proximity+density score,
+    while single-candidate baseline strategies gain density scoring and
+    density-fingerprinted caching without a selection change.
     """
     import time
 
@@ -156,8 +168,23 @@ def _run_serve_demo(dataset, scale, seed, out_dir, artifact_dir, rows,
         strategy.fit(*bundle.split("train"))
     fit_seconds = time.perf_counter() - start
 
+    density = None
+    fit_density_seconds = 0.0
+    if density_name is not None:
+        from .density import fit_class_density
+
+        start = time.perf_counter()
+        x_train, y_train = bundle.split("train")
+        model = fit_class_density(
+            density_name, x_train, y_train, bundle.schema.desired_class,
+            vae=pipeline.explainer.generator.vae)
+        store.save_density(name, model)
+        density = "store"  # prove the round trip: serve from disk state
+        fit_density_seconds = time.perf_counter() - start
+
     start = time.perf_counter()
-    service = ExplanationService.warm_start(store, name, strategy=strategy)
+    service = ExplanationService.warm_start(
+        store, name, strategy=strategy, density=density)
     result = service.explain_batch(batch)
     warm_seconds = time.perf_counter() - start
 
@@ -167,6 +194,8 @@ def _run_serve_demo(dataset, scale, seed, out_dir, artifact_dir, rows,
 
     stats = service.stats
     served = strategy_name or "core generator"
+    if density_name is not None:
+        served += f" + {density_name} density"
     table_rows = [
         ["ensure artifact", ensure_seconds,
          "cache hit" if was_cached else "cold train + save"],
@@ -175,6 +204,9 @@ def _run_serve_demo(dataset, scale, seed, out_dir, artifact_dir, rows,
         ["cached batch", cached_seconds,
          f"{stats['cache_hits']} cache hits"],
     ]
+    if density_name is not None:
+        table_rows.insert(1, ["fit + persist density", fit_density_seconds,
+                              f"{density_name}, served from store state"])
     if strategy is not None:
         table_rows.insert(1, ["fit strategy", fit_seconds, served])
     table = render_table(
@@ -184,12 +216,26 @@ def _run_serve_demo(dataset, scale, seed, out_dir, artifact_dir, rows,
     _emit(table, out_dir, f"serve_demo_{dataset}.txt")
 
 
-def _run_scenario(scenario_name, scale, seed, out_dir):
-    """Run one registered scenario and print its Table IV-style row."""
+def _run_scenario(scenario_name, scale, seed, out_dir, density=None):
+    """Run one registered scenario and print its Table IV-style row.
+
+    ``density`` switches to the scenario's ``+<density>`` registry
+    variant (building an ad-hoc variant when none is registered, e.g.
+    ``latent`` on a baseline — which then fails with the registry's
+    clear error instead of a silent fallback).
+    """
+    import dataclasses
+
     from .engine import get_scenario, run_scenario
     from .utils.tables import render_table
 
     scenario = get_scenario(scenario_name)
+    if density is not None and scenario.density != density:
+        variant = f"{scenario_name}+{density}"
+        try:
+            scenario = get_scenario(variant)
+        except KeyError:
+            scenario = dataclasses.replace(scenario, name=variant, density=density)
     result = run_scenario(scenario, scale=scale, seed=seed)
     report = result.report
     rows = [
@@ -199,6 +245,7 @@ def _run_scenario(scenario_name, scale, seed, out_dir):
         ["continuous proximity", report.continuous_proximity],
         ["categorical proximity", report.categorical_proximity],
         ["sparsity", report.sparsity],
+        ["density (mean kNN dist)", report.mean_knn_distance],
         ["rows explained", result.n_explained],
         ["blackbox accuracy", result.blackbox_accuracy],
     ]
@@ -220,10 +267,11 @@ def _run_list_scenarios(strategy, out_dir):
     from .engine import iter_scenarios
     from .utils.tables import render_table
 
-    rows = [[s.name, s.dataset, s.strategy, s.constraint_kind, s.desired]
+    rows = [[s.name, s.dataset, s.strategy, s.constraint_kind, s.desired,
+             s.density or "-"]
             for s in iter_scenarios(strategy=strategy)]
     text = render_table(
-        ["scenario", "dataset", "strategy", "kind", "desired"], rows,
+        ["scenario", "dataset", "strategy", "kind", "desired", "density"], rows,
         title=f"Scenario registry ({len(rows)} entries)")
     _emit(text, out_dir, "scenarios.txt")
 
@@ -253,12 +301,14 @@ def main(argv=None):
     if args.command == "serve-demo":
         _run_serve_demo(args.dataset, args.scale, args.seed, out_dir,
                         args.artifact_dir, args.rows,
-                        strategy_name=args.strategy)
+                        strategy_name=args.strategy,
+                        density_name=args.density)
     if args.command == "run-scenario":
         if args.scenario is None:
             print("run-scenario requires --scenario (see list-scenarios)")
             return 2
-        _run_scenario(args.scenario, args.scale, args.seed, out_dir)
+        _run_scenario(args.scenario, args.scale, args.seed, out_dir,
+                      density=args.density)
     if args.command == "list-scenarios":
         _run_list_scenarios(args.strategy, out_dir)
     if args.command == "all":

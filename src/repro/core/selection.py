@@ -17,15 +17,17 @@ This module makes that story executable:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
-from scipy.spatial import cKDTree
 
-from ..utils.validation import check_2d, check_positive
+from ..density import KnnDensity
+from ..utils.validation import check_2d, check_encoded_rows, check_positive
 
 __all__ = ["CandidateSet", "generate_candidates", "DensityCFSelector",
-           "candidate_noise_defaults", "perturb_latents"]
+           "candidate_noise_defaults", "perturb_latents",
+           "standardize_rows", "argmax_by_pools"]
 
 
 def candidate_noise_defaults(explainer, noise_scale=None, rng=None):
@@ -192,6 +194,40 @@ def _generate_candidates_loop(explainer, x, n_candidates=20, noise_scale=None,
     return sets
 
 
+def standardize_rows(values):
+    """Row-wise :meth:`DensityCFSelector._standardize`: zero near-constant rows.
+
+    Each row of ``values`` is standardised independently with exactly the
+    per-candidate-set math of the scalar helper, so the batched selection
+    path reproduces the per-row loop bit for bit.
+    """
+    mean = values.mean(axis=1, keepdims=True)
+    spread = values.std(axis=1, keepdims=True)
+    degenerate = spread < 1e-12
+    return np.where(degenerate, 0.0, (values - mean) / np.where(degenerate, 1.0, spread))
+
+
+def argmax_by_pools(scores, pools):
+    """Per-row argmax of ``scores`` under a preference-ordered pool cascade.
+
+    ``pools`` is an iterable of ``(n, m)`` boolean masks in preference
+    order; each row picks the highest-scoring candidate inside its first
+    non-empty pool (an all-ones fallback pool is appended).  Equivalent
+    to ``pool[np.argmax(scores[pool])]`` applied row by row — including
+    the first-occurrence tie-break.
+    """
+    n = len(scores)
+    chosen = np.zeros(n, dtype=int)
+    remaining = np.ones(n, dtype=bool)
+    for pool in (*pools, np.ones(scores.shape, dtype=bool)):
+        hit = remaining & pool.any(axis=1)
+        if hit.any():
+            masked = np.where(pool[hit], scores[hit], -np.inf)
+            chosen[hit] = np.argmax(masked, axis=1)
+            remaining &= ~hit
+    return chosen
+
+
 class DensityCFSelector:
     """Pick counterfactuals that are close *and* in dense feasible regions.
 
@@ -202,52 +238,75 @@ class DensityCFSelector:
     density_weight:
         Trade-off ``lambda`` between proximity and density: the score of a
         candidate ``c`` for input ``x`` is
-        ``-||c - x||_1 - lambda * meanknn(c)`` where ``meanknn`` is the
-        mean distance to the k nearest feasible reference examples.
+        ``-||c - x||_1 - lambda * density(c)`` where ``density`` is the
+        estimator's region-sparsity cost (mean feasible-reference k-NN
+        distance by default).
     k_neighbors:
-        Number of reference neighbours in the density estimate.
+        Number of reference neighbours in the default k-NN estimate.
+    density_model:
+        Optional :class:`repro.density.DensityModel` to score with
+        (fitted by :meth:`fit_reference` on the feasible reference
+        population).  Defaults to :class:`repro.density.KnnDensity`,
+        which reproduces the historical selector bit for bit.
     """
 
-    def __init__(self, explainer, density_weight=1.0, k_neighbors=10):
+    def __init__(self, explainer, density_weight=1.0, k_neighbors=10,
+                 density_model=None):
         self.explainer = explainer
         self.density_weight = check_positive(density_weight, "density_weight")
         self.k_neighbors = int(k_neighbors)
-        self._tree = None
-        self._reference = None
+        self.density_model = density_model
 
     def fit_reference(self, x_reference, desired=None):
         """Build the feasible-example reference population.
 
         Generates counterfactuals for ``x_reference``, keeps the valid &
-        feasible ones and indexes them for k-NN density queries.
-        Returns ``self``.
+        feasible ones and fits the density estimator on them.  A
+        population smaller than ``k_neighbors`` degrades gracefully (the
+        k-NN estimator clamps k at query time) with a warning; an empty
+        one raises.  Wrong-width reference rows raise
+        :class:`repro.utils.validation.SchemaMismatchError` before any
+        generation runs.  Returns ``self``.
         """
-        x_reference = check_2d(x_reference, "x_reference")
+        x_reference = check_encoded_rows(
+            x_reference, self.explainer.encoder, "x_reference")
         result = self.explainer.explain(x_reference, desired)
         keep = result.valid & result.feasible
-        if keep.sum() < self.k_neighbors:
+        n_keep = int(keep.sum())
+        if n_keep == 0:
             raise ValueError(
-                f"only {int(keep.sum())} feasible reference examples; "
-                f"need at least k_neighbors={self.k_neighbors}")
-        self._reference = result.x_cf[keep]
-        self._tree = cKDTree(self._reference)
+                "no valid & feasible reference examples were generated; "
+                "provide more reference rows or relax the constraints")
+        if self.density_model is None:
+            self.density_model = KnnDensity(k_neighbors=self.k_neighbors)
+        # the clamping claim only holds for k-NN-backed estimators; a
+        # KDE has no k and its scores are unaffected by the population
+        # being small
+        model_k = getattr(self.density_model, "k_neighbors", None)
+        if model_k is not None and n_keep < model_k:
+            warnings.warn(
+                f"only {n_keep} feasible reference examples for "
+                f"k_neighbors={model_k}; density scores will use "
+                f"k={n_keep}", stacklevel=2)
+        self.density_model.fit(result.x_cf[keep])
         return self
 
     @property
     def n_reference(self):
         """Size of the feasible reference population."""
-        return 0 if self._reference is None else len(self._reference)
+        return 0 if self.density_model is None else self.density_model.n_reference
+
+    @property
+    def _reference(self):
+        """The fitted reference matrix (None before ``fit_reference``)."""
+        return getattr(self.density_model, "reference_", None)
 
     def density_score(self, candidates):
-        """Mean distance to the k nearest feasible references (lower = denser)."""
-        if self._tree is None:
+        """The estimator's region-sparsity cost (lower = denser)."""
+        if self.n_reference == 0:
             raise RuntimeError("selector has no reference; call fit_reference()")
         candidates = check_2d(candidates, "candidates")
-        k = min(self.k_neighbors, len(self._reference))
-        distances, _ = self._tree.query(candidates, k=k)
-        if k == 1:
-            return distances
-        return distances.mean(axis=1)
+        return self.density_model.score(candidates)
 
     @staticmethod
     def _standardize(values):
@@ -284,16 +343,65 @@ class DensityCFSelector:
                 return int(pool[np.argmax(scores[pool])])
         raise RuntimeError("empty candidate set")  # pragma: no cover
 
+    def select_batch(self, candidate_sets):
+        """One-pass batched selection over pre-generated candidate sets.
+
+        The whole batch is scored at once: one tiled density query over
+        every candidate of every row
+        (:meth:`repro.density.DensityModel.score_tiled`), one broadcast
+        proximity computation, one row-standardised combined score reused
+        for both selection and diagnostics.  Outputs are bit-identical to
+        :meth:`_select_loop` (the historical per-row path, which also
+        scored every candidate set twice); the perfbench ``density``
+        section gates the speedup between the two.
+        """
+        if self.n_reference == 0:
+            raise RuntimeError("selector has no reference; call fit_reference()")
+
+        inputs = np.stack([cs.x for cs in candidate_sets])
+        candidates = np.stack([cs.candidates for cs in candidate_sets])
+        valid = np.stack([cs.valid for cs in candidate_sets])
+        usable = np.stack([cs.usable_mask for cs in candidate_sets])
+
+        proximity = np.abs(candidates - inputs[:, None, :]).sum(axis=2)
+        sparsity_of_region = self.density_model.score_tiled(candidates)
+        scores = (-standardize_rows(proximity)
+                  - self.density_weight * standardize_rows(sparsity_of_region))
+        chosen = argmax_by_pools(scores, (usable, valid))
+
+        rows = np.arange(len(candidate_sets))
+        x_cf = candidates[rows, chosen]
+        diagnostics = [{
+            "chosen": int(chosen[i]),
+            "n_usable": int(usable[i].sum()),
+            "n_valid": int(valid[i].sum()),
+            "score": float(scores[i, chosen[i]]),
+        } for i in rows]
+        return x_cf, diagnostics
+
     def explain(self, x, n_candidates=20, desired=None, rng=None):
-        """Full density-aware explanation for a batch.
+        """Full density-aware explanation for a batch, loop-free.
 
         Returns ``(x_cf, diagnostics)`` where ``x_cf`` stacks the selected
         counterfactual per row and ``diagnostics`` is a list of dicts with
-        the chosen index, candidate counts and score.
+        the chosen index, candidate counts and score.  Candidate
+        generation is one vectorized sweep and selection is one batched
+        score pass (:meth:`select_batch`).
         """
         candidate_sets = generate_candidates(
             self.explainer, x, n_candidates=n_candidates, desired=desired,
             rng=rng)
+        return self.select_batch(candidate_sets)
+
+    def _select_loop(self, candidate_sets):
+        """Per-row reference for :meth:`select_batch`.
+
+        The original (pre-density-layer) selection loop, kept as the
+        ground truth the batched path must reproduce exactly — including
+        its separate score pass per candidate set for the diagnostics
+        (one in :meth:`select`, one for the reported score).  Only the
+        parity tests and the perfbench should call it.
+        """
         chosen = []
         diagnostics = []
         for candidate_set in candidate_sets:
@@ -306,3 +414,10 @@ class DensityCFSelector:
                 "score": float(self.score(candidate_set)[index]),
             })
         return np.array(chosen), diagnostics
+
+    def _explain_loop(self, x, n_candidates=20, desired=None, rng=None):
+        """Per-row reference implementation of :meth:`explain`."""
+        candidate_sets = generate_candidates(
+            self.explainer, x, n_candidates=n_candidates, desired=desired,
+            rng=rng)
+        return self._select_loop(candidate_sets)

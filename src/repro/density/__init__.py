@@ -1,0 +1,29 @@
+"""Unified batch-first density subsystem (the paper's third pillar).
+
+One ``DensityModel`` layer powers every density question in the stack:
+Figure 3 candidate selection (``DensityCFSelector``), FACE's
+density-penalised graph, the engine runner's density-aware selection and
+Table IV density column, warm-started serving (density state persisted
+by the ``ArtifactStore``) and the ``density=`` scenario variants.  See
+``docs/density.md``.
+"""
+
+from .base import (
+    DENSITY_NAMES,
+    DensityModel,
+    build_density,
+    density_from_state,
+    fit_class_density,
+)
+from .estimators import GaussianKdeDensity, KnnDensity, LatentDensity
+
+__all__ = [
+    "DENSITY_NAMES",
+    "DensityModel",
+    "GaussianKdeDensity",
+    "KnnDensity",
+    "LatentDensity",
+    "build_density",
+    "density_from_state",
+    "fit_class_density",
+]

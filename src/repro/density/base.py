@@ -1,0 +1,201 @@
+"""The ``DensityModel`` contract every estimator and consumer shares.
+
+Density is the paper's third pillar: among feasible counterfactuals,
+prefer one sitting in a *dense region* of feasible examples (Figure 3).
+Before this layer existed the stack estimated density three independent
+ways — the selection module, FACE and the manifold diagnostics each
+built their own ``cKDTree`` — and neither the engine's Table IV metrics
+nor the serving layer knew density existed at all.
+
+:class:`DensityModel` is the one batch-first interface they all share:
+
+* ``fit(reference)`` — index a reference population once,
+* ``score(candidates)`` — a per-row *region-sparsity cost* (lower means
+  denser), shape ``(n,)``,
+* ``score_tiled(candidates)`` — the compiled sweep path: a full
+  ``(n_rows, n_candidates, d)`` candidate tensor scored in ONE backend
+  query (mirroring ``CompiledConstraintSet``'s tiled evaluation), with
+  :meth:`DensityModel.score_tiled_loop` kept as the per-row parity
+  reference,
+* ``get_state`` / ``from_state`` — a flat, array-or-scalar state dict
+  the artifact store persists, plus a :meth:`DensityModel.fingerprint`
+  over it so stale density state is rejected exactly like stale model
+  weights.
+
+``build_density`` is the single factory the selector, the engine
+runner, the scenario registry and the serving layer call.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["DENSITY_NAMES", "DensityModel", "build_density", "density_from_state"]
+
+#: Estimator names the factory accepts.
+DENSITY_NAMES = ("knn", "kde", "latent")
+
+
+class DensityModel(ABC):
+    """Batch-first density estimator over a fitted reference population.
+
+    Scores are *costs*: lower means the candidate sits in a denser
+    region of the reference population.  Every estimator keeps that
+    direction so ``proximity + weight * density`` trade-offs compose the
+    same way regardless of the backend.
+    """
+
+    #: Registry name of the estimator (``knn`` / ``kde`` / ``latent``).
+    kind = "density"
+
+    #: State keys that shape performance but never the scores; excluded
+    #: from :meth:`fingerprint` so two estimators agree exactly when
+    #: they would produce the same scores.
+    fingerprint_excludes = ()
+
+    @abstractmethod
+    def fit(self, reference):
+        """Index a ``(n_reference, d)`` population; returns ``self``."""
+
+    @abstractmethod
+    def score(self, candidates):
+        """Region-sparsity cost per row of a ``(n, d)`` matrix (lower = denser)."""
+
+    @property
+    @abstractmethod
+    def n_reference(self):
+        """Rows in the fitted reference population (0 when unfitted)."""
+
+    # -- tiled sweep scoring -------------------------------------------------
+    def score_tiled(self, candidates):
+        """Score a full ``(n_rows, n_candidates, d)`` sweep in one query.
+
+        The compiled path: the sweep is flattened once and handed to the
+        backend as a single batch, so a density-aware selection over
+        ``n * m`` candidates costs one tree/KDE query instead of ``n``.
+        For per-point backends (the k-NN tree) values are bit-identical
+        to :meth:`score_tiled_loop`; estimators that run matmuls (KDE,
+        latent encoding) are numerically equivalent but may differ at
+        float precision because BLAS blocking varies with batch shape.
+        """
+        candidates = _check_3d(candidates)
+        n, m, d = candidates.shape
+        return self.score(candidates.reshape(n * m, d)).reshape(n, m)
+
+    def score_tiled_loop(self, candidates):
+        """Per-row reference for :meth:`score_tiled` (parity + benchmarks).
+
+        This is the shape of the pre-density-layer code: one backend
+        query per input row's candidate set.  Only parity tests and the
+        perfbench should call it.
+        """
+        candidates = _check_3d(candidates)
+        return np.stack([self.score(row_candidates) for row_candidates in candidates])
+
+    # -- persistence ---------------------------------------------------------
+    @abstractmethod
+    def get_state(self):
+        """Flat state dict: ``kind`` plus ndarray / plain-scalar values."""
+
+    @classmethod
+    @abstractmethod
+    def from_state(cls, state):
+        """Rebuild a fitted estimator from :meth:`get_state` output."""
+
+    def fingerprint(self):
+        """Deterministic hash of the fitted state, for caches and the store.
+
+        Arrays are hashed by content, scalars canonically JSON-encoded,
+        so two estimators agree exactly when they would produce the same
+        scores.
+        """
+        payload = {}
+        for key, value in self.get_state().items():
+            if key in self.fingerprint_excludes:
+                continue
+            if isinstance(value, np.ndarray):
+                payload[key] = hashlib.sha256(np.ascontiguousarray(value).tobytes()).hexdigest()
+            else:
+                payload[key] = value
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def _check_3d(candidates):
+    """Validate a candidate sweep tensor; returns it as float64."""
+    candidates = np.asarray(candidates, dtype=np.float64)
+    if candidates.ndim != 3:
+        raise ValueError(
+            f"candidate sweep must be (n_rows, n_candidates, d), got shape {candidates.shape}"
+        )
+    return candidates
+
+
+def build_density(name, k_neighbors=10, bandwidth=None, vae=None, desired_class=1):
+    """Construct an unfitted estimator by registry name.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`DENSITY_NAMES`.
+    k_neighbors:
+        Neighbourhood size for the ``knn`` estimator (and the latent
+        estimator's inner k-NN).
+    bandwidth:
+        Optional per-feature bandwidth override for ``kde`` (defaults to
+        Scott's rule at fit time).
+    vae:
+        Trained :class:`repro.models.ConditionalVAE` — required by the
+        ``latent`` estimator, ignored otherwise.
+    desired_class:
+        Class label the ``latent`` estimator conditions its encoder on.
+    """
+    from .estimators import GaussianKdeDensity, KnnDensity, LatentDensity
+
+    if name == "knn":
+        return KnnDensity(k_neighbors=k_neighbors)
+    if name == "kde":
+        return GaussianKdeDensity(bandwidth=bandwidth)
+    if name == "latent":
+        return LatentDensity(vae=vae, desired_class=desired_class, k_neighbors=k_neighbors)
+    raise KeyError(f"unknown density estimator {name!r}; options: {DENSITY_NAMES}")
+
+
+def fit_class_density(name, x, y, desired_class, vae=None, k_neighbors=10):
+    """Build the named estimator and fit it on one class's rows.
+
+    The shared recipe every density consumer uses for a labelled
+    reference population — scenarios, the serve demo and the benchmarks
+    all estimate density over the *desired-class* examples (the region a
+    counterfactual should land in).  Centralising the slice keeps the
+    reference policy in one place.
+    """
+    x = np.asarray(x)
+    y = np.asarray(y)
+    desired_class = int(desired_class)
+    model = build_density(name, k_neighbors=k_neighbors, vae=vae, desired_class=desired_class)
+    return model.fit(x[y == desired_class])
+
+
+def density_from_state(state, vae=None):
+    """Rebuild a fitted estimator from a persisted state dict.
+
+    The inverse of :meth:`DensityModel.get_state`, dispatched on the
+    ``kind`` entry.  ``vae`` re-attaches the encoder the ``latent``
+    estimator scores through (the store persists density state, never a
+    second copy of the VAE weights).
+    """
+    from .estimators import GaussianKdeDensity, KnnDensity, LatentDensity
+
+    kind = state.get("kind")
+    if kind == "knn":
+        return KnnDensity.from_state(state)
+    if kind == "kde":
+        return GaussianKdeDensity.from_state(state)
+    if kind == "latent":
+        return LatentDensity.from_state(state, vae=vae)
+    raise KeyError(f"unknown density state kind {kind!r}; options: {DENSITY_NAMES}")

@@ -1,0 +1,243 @@
+"""The three batch-first density estimators.
+
+* :class:`KnnDensity` — mean distance to the k nearest reference
+  examples, the exact math ``DensityCFSelector`` always used (the
+  selector now delegates here; parity tests pin the scores
+  bit-identical).
+* :class:`GaussianKdeDensity` — vectorized Gaussian kernel density with
+  per-feature Scott bandwidths; the score is the negative log-density.
+* :class:`LatentDensity` — k-NN density measured in the CF-VAE latent
+  space (Mahajan et al.'s manifold argument): rows are encoded through
+  ``ConditionalVAE.encode_array`` and scored by an inner
+  :class:`KnnDensity` over the encoded reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from ..utils.validation import check_2d
+from .base import DensityModel
+
+__all__ = ["GaussianKdeDensity", "KnnDensity", "LatentDensity"]
+
+
+class KnnDensity(DensityModel):
+    """Mean k-nearest-neighbour distance to the reference population.
+
+    Lower scores mean the candidate sits among more (closer) reference
+    examples — the ``meanknn`` term of the Figure 3 selection score.
+    ``k`` is clamped to the reference size at query time, so a small
+    feasible population degrades gracefully instead of failing.
+    """
+
+    kind = "knn"
+
+    def __init__(self, k_neighbors=10):
+        self.k_neighbors = int(k_neighbors)
+        if self.k_neighbors < 1:
+            raise ValueError(f"k_neighbors must be >= 1, got {k_neighbors}")
+        self.reference_ = None
+        self.tree_ = None
+
+    def fit(self, reference):
+        reference = check_2d(reference, "reference")
+        self.reference_ = reference
+        self.tree_ = cKDTree(reference)
+        return self
+
+    @property
+    def n_reference(self):
+        return 0 if self.reference_ is None else len(self.reference_)
+
+    def _require_fitted(self):
+        if self.tree_ is None:
+            raise RuntimeError(f"{type(self).__name__} is not fitted; call fit() first")
+
+    def query(self, points, k):
+        """Raw ``(distances, indices)`` k-NN lookup against the reference.
+
+        The shared tree access FACE's graph construction and the
+        manifold diagnostics use; ``k`` is passed through untouched so
+        self-neighbour conventions stay with the caller.
+        """
+        self._require_fitted()
+        return self.tree_.query(points, k=k)
+
+    def score(self, candidates):
+        self._require_fitted()
+        candidates = check_2d(candidates, "candidates")
+        k = min(self.k_neighbors, len(self.reference_))
+        distances, _ = self.tree_.query(candidates, k=k)
+        if k == 1:
+            return distances
+        return distances.mean(axis=1)
+
+    def get_state(self):
+        self._require_fitted()
+        return {
+            "kind": self.kind,
+            "k_neighbors": int(self.k_neighbors),
+            "reference": self.reference_,
+        }
+
+    @classmethod
+    def from_state(cls, state):
+        model = cls(k_neighbors=state["k_neighbors"])
+        return model.fit(np.asarray(state["reference"], dtype=np.float64))
+
+
+class GaussianKdeDensity(DensityModel):
+    """Vectorized Gaussian KDE; score is the negative log-density.
+
+    Bandwidths follow Scott's rule per feature
+    (``sigma_j * n ** (-1 / (d + 4))``) unless given explicitly;
+    constant features fall back to unit scale so the whitening never
+    divides by zero.  Scoring is chunked over candidates to bound the
+    ``(chunk, n_reference)`` distance matrix.
+    """
+
+    kind = "kde"
+    fingerprint_excludes = ("chunk_size",)
+
+    def __init__(self, bandwidth=None, chunk_size=4096):
+        # the constructor argument is kept apart from the fitted value so
+        # a refit re-derives Scott bandwidths from the NEW reference
+        # instead of silently reusing the previous population's scales
+        self._given_bandwidth = None if bandwidth is None else np.asarray(bandwidth, np.float64)
+        self.bandwidth = None
+        self.chunk_size = int(chunk_size)
+        if self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.reference_ = None
+        self._whitened = None
+        self._log_norm = None
+
+    def fit(self, reference):
+        reference = check_2d(reference, "reference")
+        n, d = reference.shape
+        if self._given_bandwidth is None:
+            sigma = reference.std(axis=0)
+            sigma = np.where(sigma > 1e-12, sigma, 1.0)
+            self.bandwidth = sigma * n ** (-1.0 / (d + 4))
+        else:
+            self.bandwidth = np.broadcast_to(self._given_bandwidth, (d,)).astype(np.float64)
+            if np.any(self.bandwidth <= 0):
+                raise ValueError("bandwidth entries must be positive")
+        self.reference_ = reference
+        self._whitened = reference / self.bandwidth
+        # log of the Gaussian-product normaliser: n * h_1 ... h_d * (2 pi)^(d/2)
+        self._log_norm = np.log(n) + np.log(self.bandwidth).sum() + 0.5 * d * np.log(2.0 * np.pi)
+        return self
+
+    @property
+    def n_reference(self):
+        return 0 if self.reference_ is None else len(self.reference_)
+
+    def _require_fitted(self):
+        if self.reference_ is None:
+            raise RuntimeError(f"{type(self).__name__} is not fitted; call fit() first")
+
+    def log_density(self, candidates):
+        """Log KDE density per candidate row (higher = denser)."""
+        self._require_fitted()
+        candidates = check_2d(candidates, "candidates")
+        whitened = candidates / self.bandwidth
+        ref = self._whitened
+        ref_norms = (ref**2).sum(axis=1)
+        out = np.empty(len(whitened))
+        for start in range(0, len(whitened), self.chunk_size):
+            chunk = whitened[start : start + self.chunk_size]
+            sq = (chunk**2).sum(axis=1)[:, None] + ref_norms[None, :] - 2.0 * (chunk @ ref.T)
+            exponents = -0.5 * np.maximum(sq, 0.0)
+            peak = exponents.max(axis=1)
+            out[start : start + self.chunk_size] = peak + np.log(
+                np.exp(exponents - peak[:, None]).sum(axis=1)
+            )
+        return out - self._log_norm
+
+    def score(self, candidates):
+        return -self.log_density(candidates)
+
+    def get_state(self):
+        self._require_fitted()
+        return {
+            "kind": self.kind,
+            "chunk_size": int(self.chunk_size),
+            "bandwidth": self.bandwidth,
+            "reference": self.reference_,
+        }
+
+    @classmethod
+    def from_state(cls, state):
+        model = cls(
+            bandwidth=np.asarray(state["bandwidth"], dtype=np.float64),
+            chunk_size=state["chunk_size"],
+        )
+        return model.fit(np.asarray(state["reference"], dtype=np.float64))
+
+
+class LatentDensity(DensityModel):
+    """k-NN density in the CF-VAE latent space.
+
+    Rows are mapped to posterior means with the trained encoder
+    (``encode_array``, the graph-free fast path) conditioned on
+    ``desired_class``, then scored by an inner :class:`KnnDensity` over
+    the encoded reference.  Persisted state stores the *latent*
+    reference, never VAE weights — :meth:`from_state` re-attaches the
+    VAE the artifact store already holds.
+    """
+
+    kind = "latent"
+
+    def __init__(self, vae=None, desired_class=1, k_neighbors=10):
+        self.vae = vae
+        self.desired_class = int(desired_class)
+        self.inner = KnnDensity(k_neighbors=k_neighbors)
+
+    @property
+    def k_neighbors(self):
+        """Neighbourhood size of the inner latent-space k-NN."""
+        return self.inner.k_neighbors
+
+    def _encode(self, rows):
+        if self.vae is None:
+            raise RuntimeError(
+                "LatentDensity has no VAE attached; construct with vae= or "
+                "rebuild via density_from_state(state, vae=...)"
+            )
+        rows = check_2d(rows, "rows")
+        labels = np.full(len(rows), float(self.desired_class))
+        mu, _ = self.vae.encode_array(rows, labels)
+        return mu
+
+    def fit(self, reference):
+        self.inner.fit(self._encode(reference))
+        return self
+
+    @property
+    def n_reference(self):
+        return self.inner.n_reference
+
+    def score(self, candidates):
+        return self.inner.score(self._encode(candidates))
+
+    def get_state(self):
+        inner_state = self.inner.get_state()
+        return {
+            "kind": self.kind,
+            "desired_class": int(self.desired_class),
+            "k_neighbors": int(inner_state["k_neighbors"]),
+            "reference": inner_state["reference"],
+        }
+
+    @classmethod
+    def from_state(cls, state, vae=None):
+        model = cls(
+            vae=vae,
+            desired_class=state["desired_class"],
+            k_neighbors=state["k_neighbors"],
+        )
+        model.inner.fit(np.asarray(state["reference"], dtype=np.float64))
+        return model

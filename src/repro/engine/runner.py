@@ -13,11 +13,14 @@ hosts that plumbing exactly once:
 3. run ONE black-box validity call and ONE compiled-kernel feasibility
    pass over all candidates,
 4. select a winner per row (closest valid & feasible, mirroring the
-   serving policy) and
-5. optionally score the batch into a Table IV :class:`MethodReport`.
+   serving policy — or the Figure 3 proximity+density score when the
+   runner hosts a fitted :class:`repro.density.DensityModel`) and
+5. optionally score the batch into a Table IV :class:`MethodReport`
+   (including the density column when a model is hosted).
 
 Outputs are bit-identical to the pre-engine per-method paths — the
-parity tests in ``tests/engine/`` hold the line.
+parity tests in ``tests/engine/`` hold the line — and a runner without a
+density model runs the exact pre-density code path.
 """
 
 from __future__ import annotations
@@ -46,9 +49,19 @@ class EngineRunner:
         contains the unary constraints), so one kernel pass can answer
         both Table IV feasibility columns.  A
         :class:`CompiledConstraintSet` is accepted directly.
+    density:
+        Optional *fitted* :class:`repro.density.DensityModel`.  When
+        hosted, every strategy's multi-candidate batches are selected by
+        the Figure 3 standardized proximity+density score (one tiled
+        density query for the whole sweep), per-row density costs appear
+        in the run diagnostics, and :meth:`evaluate` fills the Table IV
+        density column.  ``None`` (the default) keeps the historical
+        closest-L1 selection bit for bit.
+    density_weight:
+        Trade-off ``lambda`` of the density-aware selection score.
     """
 
-    def __init__(self, encoder, blackbox, constraints=None):
+    def __init__(self, encoder, blackbox, constraints=None, density=None, density_weight=1.0):
         self.encoder = encoder
         self.blackbox = blackbox
         if constraints is None:
@@ -60,6 +73,8 @@ class EngineRunner:
                 constraints = ConstraintSet(constraints)
             self.kernel = constraints.compile()
         self.projector = ImmutableProjector(encoder)
+        self.density = density
+        self.density_weight = float(density_weight)
 
     # -- constraint bookkeeping ---------------------------------------------
     def flag_indices(self, strategy):
@@ -103,12 +118,23 @@ class EngineRunner:
         flags = report.subset_satisfied(self.flag_indices(strategy))
         valid = predicted == np.repeat(desired, m)
 
+        sweep_density = None
+        if self.density is not None and m > 1:
+            # ONE tiled query scores the full (n, m, d) sweep
+            sweep_density = self.density.score_tiled(candidates)
+
         if m == 1:
             x_cf = candidates[:, 0, :]
             chosen = np.zeros(n, dtype=int)
             row_predicted, row_feasible = predicted, flags
         else:
-            chosen = _select_candidates(x, candidates, valid.reshape(n, m), flags.reshape(n, m))
+            valid2d, flags2d = valid.reshape(n, m), flags.reshape(n, m)
+            if sweep_density is None:
+                chosen = _select_candidates(x, candidates, valid2d, flags2d)
+            else:
+                chosen = _select_candidates_density(
+                    x, candidates, valid2d, flags2d, sweep_density, self.density_weight
+                )
             rows = np.arange(n)
             x_cf = candidates[rows, chosen]
             row_predicted = predicted.reshape(n, m)[rows, chosen]
@@ -131,6 +157,12 @@ class EngineRunner:
                 "n_usable": (valid & flags).reshape(n, m).sum(axis=1),
                 "candidate_validity": float(valid.mean()) if valid.size else 0.0,
             }
+            if self.density is not None:
+                if sweep_density is None:
+                    row_density = self.density.score(x_cf)
+                else:
+                    row_density = sweep_density[np.arange(n), chosen]
+                diagnostics["row_density"] = row_density
             return result, diagnostics
         return result
 
@@ -150,7 +182,9 @@ class EngineRunner:
         Produces the exact :class:`repro.metrics.MethodReport` the
         pre-engine harness computed — validity, per-kind feasibility,
         proximity and sparsity — reusing the run's own predict call and
-        kernel pass instead of re-evaluating the scored rows.
+        kernel pass instead of re-evaluating the scored rows.  A hosted
+        density model additionally fills the report's
+        ``mean_knn_distance`` column from the run's own density scores.
         """
         from ..metrics import evaluate_counterfactuals
 
@@ -173,6 +207,7 @@ class EngineRunner:
             report_kinds=report_kinds,
             feasibility_report=report,
             predicted=result.predicted,
+            density_scores=diagnostics.get("row_density"),
         )
 
 
@@ -196,3 +231,19 @@ def _select_candidates(x, candidates, valid, feasible):
             chosen[useful] = np.argmin(masked, axis=1)
             remaining &= ~useful
     return chosen
+
+
+def _select_candidates_density(x, candidates, valid, feasible, density, weight):
+    """Vectorized per-row choice under the Figure 3 proximity+density score.
+
+    Same pool cascade as :func:`_select_candidates` (valid & feasible,
+    then valid, then any), but within a pool the winner maximises the
+    standardized ``-proximity - weight * density`` combination instead of
+    pure closeness — exactly the ``DensityCFSelector`` scoring, hosted
+    once for every strategy.
+    """
+    from ..core.selection import argmax_by_pools, standardize_rows
+
+    proximity = np.abs(candidates - x[:, None, :]).sum(axis=2)
+    scores = -standardize_rows(proximity) - weight * standardize_rows(density)
+    return argmax_by_pools(scores, (valid & feasible, valid))

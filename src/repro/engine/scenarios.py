@@ -8,7 +8,11 @@ all iterate the same registry, so a method x dataset x constraint sweep
 is a one-liner instead of bespoke glue per entry point.
 
 Built-in scenarios cover the full Table IV grid (every registry dataset
-times every strategy name); ``register_scenario`` adds custom entries.
+times every strategy name) plus the density variants — every grid entry
+with a ``knn`` and ``kde`` density-aware runner, and the core strategies
+additionally with the CF-VAE ``latent`` estimator — named
+``"<dataset>/<strategy>+<density>"``.  ``register_scenario`` adds custom
+entries.
 """
 
 from __future__ import annotations
@@ -68,6 +72,14 @@ class Scenario:
     strategy_params:
         Extra constructor arguments for the strategy, as a tuple of
         ``(key, value)`` pairs (tuples keep the dataclass hashable).
+    density:
+        Optional density-estimator name (``knn`` / ``kde`` / ``latent``).
+        When set, the run's engine runner hosts a fitted
+        :class:`repro.density.DensityModel` (reference population: the
+        desired-class training rows), selection becomes density-aware
+        and the report gains the density column.
+    density_weight:
+        Trade-off ``lambda`` of the density-aware selection score.
     """
 
     name: str
@@ -77,6 +89,8 @@ class Scenario:
     desired: str = "paper"
     scale: str = "fast"
     strategy_params: tuple = field(default_factory=tuple)
+    density: str = None
+    density_weight: float = 1.0
 
     def params(self):
         """``strategy_params`` as a plain dict."""
@@ -103,6 +117,7 @@ def register_scenario(scenario, overwrite=False):
     fail halfway through on a typo.
     """
     from ..data import dataset_names
+    from ..density import DENSITY_NAMES
 
     if scenario.dataset not in dataset_names():
         raise KeyError(
@@ -112,10 +127,27 @@ def register_scenario(scenario, overwrite=False):
         raise KeyError(f"unknown strategy {scenario.strategy!r}; options: {STRATEGY_NAMES}")
     if scenario.desired not in ("paper", "flip"):
         raise ValueError(f"desired policy must be 'paper' or 'flip', got {scenario.desired!r}")
+    if scenario.density is not None and scenario.density not in DENSITY_NAMES:
+        raise KeyError(
+            f"unknown density estimator {scenario.density!r}; options: {DENSITY_NAMES}"
+        )
     if not overwrite and scenario.name in _SCENARIOS:
         raise KeyError(f"scenario {scenario.name!r} already registered")
     _SCENARIOS[scenario.name] = scenario
     return scenario
+
+
+def density_variants_for(strategy):
+    """Density-estimator names a builtin strategy grid entry gets.
+
+    Every strategy gets the feature-space ``knn``/``kde`` variants; the
+    core CF-VAE strategies additionally get the ``latent`` estimator
+    (which needs the trained encoder only they carry).
+    """
+    variants = ["knn", "kde"]
+    if strategy.startswith("ours_"):
+        variants.append("latent")
+    return tuple(variants)
 
 
 def _register_builtins():
@@ -132,19 +164,44 @@ def _register_builtins():
                     constraint_kind=kind,
                 )
             )
+            # density variants: the core strategies propose a diverse
+            # sweep so density-aware selection has candidates to rank
+            params = (("n_candidates", 8),) if strategy.startswith("ours_") else ()
+            for density in density_variants_for(strategy):
+                register_scenario(
+                    Scenario(
+                        name=f"{dataset}/{strategy}+{density}",
+                        dataset=dataset,
+                        strategy=strategy,
+                        constraint_kind=kind,
+                        strategy_params=params,
+                        density=density,
+                    )
+                )
 
 
-def scenario_names(dataset=None, strategy=None):
+#: Sentinel for "no density filter" (None filters for density-less entries).
+_ANY_DENSITY = object()
+
+
+def scenario_names(dataset=None, strategy=None, density=_ANY_DENSITY):
     """Registered scenario names, optionally filtered."""
-    return [s.name for s in iter_scenarios(dataset=dataset, strategy=strategy)]
+    return [s.name for s in iter_scenarios(dataset=dataset, strategy=strategy, density=density)]
 
 
-def iter_scenarios(dataset=None, strategy=None):
-    """Iterate registered scenarios in registration order, filtered."""
+def iter_scenarios(dataset=None, strategy=None, density=_ANY_DENSITY):
+    """Iterate registered scenarios in registration order, filtered.
+
+    ``density`` filters on the estimator name; pass ``None`` explicitly
+    to iterate only the density-less Table IV grid (the default matches
+    every entry).
+    """
     for scenario in _SCENARIOS.values():
         if dataset is not None and scenario.dataset != dataset:
             continue
         if strategy is not None and scenario.strategy != strategy:
+            continue
+        if density is not _ANY_DENSITY and scenario.density != density:
             continue
         yield scenario
 
@@ -164,6 +221,11 @@ def run_scenario(scenario, scale=None, seed=0, store=None, context=None, runner=
     from ``store``), builds and fits the strategy, then scores it through
     the shared engine runner.  ``context``/``runner`` allow a sweep to
     reuse the trained context across scenarios of the same dataset.
+
+    Density scenarios (``scenario.density`` set) fit the named estimator
+    on the desired-class training rows and run through a density-hosting
+    runner — a passed ``runner`` is not mutated; a dedicated one is
+    built for the density run.
     """
     from ..experiments.harness import prepare_context
     from .runner import EngineRunner
@@ -180,8 +242,6 @@ def run_scenario(scenario, scale=None, seed=0, store=None, context=None, runner=
             constraint_kind=scenario.constraint_kind,
         )
     encoder = context.bundle.encoder
-    if runner is None:
-        runner = EngineRunner(encoder, context.blackbox)
 
     strategy = build_strategy(
         scenario.strategy,
@@ -192,6 +252,16 @@ def run_scenario(scenario, scale=None, seed=0, store=None, context=None, runner=
         **scenario.params(),
     )
     strategy.fit(context.x_train, context.y_train)
+
+    if scenario.density is not None:
+        runner = EngineRunner(
+            encoder,
+            context.blackbox,
+            density=_fit_scenario_density(scenario, context, strategy),
+            density_weight=scenario.density_weight,
+        )
+    elif runner is None:
+        runner = EngineRunner(encoder, context.blackbox)
 
     desired = context.desired if scenario.desired == "paper" else None
     report = runner.evaluate(
@@ -209,6 +279,28 @@ def run_scenario(scenario, scale=None, seed=0, store=None, context=None, runner=
         n_explained=len(context.x_explain),
     )
 
+
+def _fit_scenario_density(scenario, context, strategy):
+    """Fit the scenario's density estimator on the desired-class train rows."""
+    from ..density import fit_class_density
+
+    vae = None
+    if scenario.density == "latent":
+        generator = getattr(getattr(strategy, "explainer", None), "generator", None)
+        if generator is None:
+            raise ValueError(
+                f"scenario {scenario.name!r}: the latent density estimator "
+                f"needs a trained CF-VAE, which only the core (ours_*) "
+                f"strategies carry"
+            )
+        vae = generator.vae
+    return fit_class_density(
+        scenario.density,
+        context.x_train,
+        context.y_train,
+        context.bundle.schema.desired_class,
+        vae=vae,
+    )
 
 
 _register_builtins()

@@ -236,6 +236,12 @@ def build_strategy(method_name, encoder, blackbox, dataset=None, seed=0, config=
     dataset = dataset or encoder.schema.name
     if method_name in ("ours_unary", "ours_binary"):
         kind = method_name.split("_")[1]
+        # diversity knobs belong to the strategy wrapper, the rest to the
+        # explainer constructor (e.g. the density scenarios ask for a
+        # multi-candidate sweep via n_candidates)
+        strategy_params = {
+            key: params.pop(key) for key in ("n_candidates", "noise_scale") if key in params
+        }
         explainer = FeasibleCFExplainer(
             encoder,
             constraint_kind=kind,
@@ -244,7 +250,7 @@ def build_strategy(method_name, encoder, blackbox, dataset=None, seed=0, config=
             seed=seed,
             **params,
         )
-        return CoreCFStrategy(explainer, name=method_name)
+        return CoreCFStrategy(explainer, name=method_name, **strategy_params)
     if method_name in ("mahajan_unary", "mahajan_binary"):
         kind = method_name.split("_")[1]
         return MahajanExplainer(

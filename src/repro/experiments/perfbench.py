@@ -23,6 +23,14 @@ about ("as fast as the hardware allows"):
   (AND-flags, per-kind rates, per-constraint rates).  The two outputs
   are asserted identical before timing, and the compiled path must hold
   a >= 3x speedup.
+* **density** — the batched density-aware selection
+  (:meth:`repro.core.DensityCFSelector.select_batch`: ONE tiled density
+  query + one vectorized score pass for the whole sweep) against the
+  per-row loop the pre-density-layer selector ran (two score passes per
+  row — one in ``select``, one for the diagnostics).  Outputs are
+  asserted bit-identical before timing and the batched path must hold a
+  >= 3x speedup; the tiled k-NN scorer and the KDE estimator ride along
+  as informational rates.
 
 The workload is fixed per scale so numbers are comparable across
 commits; ``PRE_PR_BASELINE`` pins the numbers measured with this exact
@@ -48,13 +56,17 @@ from ..core.selection import generate_candidates
 from ..data import load_dataset
 from ..models import BlackBoxClassifier, train_classifier
 
-__all__ = ["MIN_KERNEL_SPEEDUP", "PERF_SCALES", "PRE_PR_BASELINE",
-           "run_perfbench", "write_bench"]
+__all__ = ["MIN_DENSITY_SPEEDUP", "MIN_KERNEL_SPEEDUP", "PERF_SCALES",
+           "PRE_PR_BASELINE", "run_perfbench", "write_bench"]
 
 #: Acceptance floor: the compiled feasibility kernel must beat the
 #: per-constraint loop evaluator by at least this factor (the single
 #: definition — the bench-runner gate imports it from here).
 MIN_KERNEL_SPEEDUP = 3.0
+
+#: Acceptance floor: the tiled density scorer must beat the per-row
+#: query loop by at least this factor.
+MIN_DENSITY_SPEEDUP = 3.0
 
 #: Workload definitions.  ``smoke`` finishes in well under a minute and is
 #: what CI runs; ``full`` is for local trajectory tracking.
@@ -71,6 +83,9 @@ PERF_SCALES = {
         "serve_rows": 64,
         "constraint_rows": 64,
         "constraint_candidates": 24,
+        "density_reference": 192,
+        "density_rows": 96,
+        "density_candidates": 16,
         "min_seconds": 1.0,
     },
     "full": {
@@ -85,6 +100,9 @@ PERF_SCALES = {
         "serve_rows": 256,
         "constraint_rows": 128,
         "constraint_candidates": 32,
+        "density_reference": 256,
+        "density_rows": 192,
+        "density_candidates": 16,
         "min_seconds": 1.5,
     },
 }
@@ -252,6 +270,72 @@ def _constraint_eval_section(bundle, spec, min_seconds, seed):
     }
 
 
+def _density_section(explainer, bundle, spec, min_seconds, seed):
+    """Time batched density-aware selection against the per-row loop.
+
+    The workload is the Figure 3 selection stage on a real candidate
+    sweep: ``density_rows`` inputs x ``density_candidates`` generated
+    candidates each, scored against a ``density_reference``-row k-NN
+    estimator.  The loop reference is the historical selector path
+    (two score passes per row — exactly what ``DensityCFSelector.explain``
+    ran before the density layer); the batched path is ONE tiled density
+    query plus one vectorized combined-score pass.  Outputs are asserted
+    bit-identical before timing and the batched path must hold the 3x
+    acceptance floor; the tiled scorer alone and the KDE estimator ride
+    along as informational rates.
+    """
+    from ..core.selection import DensityCFSelector, generate_candidates
+    from ..density import GaussianKdeDensity, KnnDensity
+
+    n = spec["density_rows"]
+    m = spec["density_candidates"]
+    reference = bundle.encoded[:spec["density_reference"]]
+    model = KnnDensity(k_neighbors=10).fit(reference)
+    selector = DensityCFSelector(
+        explainer, density_weight=2.0, density_model=model)
+
+    x = bundle.encoded[:n]
+    candidate_sets = generate_candidates(
+        explainer, x, n_candidates=m, rng=np.random.default_rng(seed + 500))
+    sweep = np.stack([cs.candidates for cs in candidate_sets])
+
+    x_cf_fast, diag_fast = selector.select_batch(candidate_sets)
+    x_cf_loop, diag_loop = selector._select_loop(candidate_sets)
+    if not np.array_equal(x_cf_fast, x_cf_loop) or diag_fast != diag_loop:
+        raise AssertionError(
+            "batched density selection diverges from the per-row loop")
+    if not np.array_equal(model.score_tiled(sweep), model.score_tiled_loop(sweep)):
+        raise AssertionError(
+            "tiled density scorer diverges from the per-row query loop")
+
+    loop_rate, loop_calls = _throughput(
+        lambda: selector._select_loop(candidate_sets), n, min_seconds)
+    fast_rate, fast_calls = _throughput(
+        lambda: selector.select_batch(candidate_sets), n, min_seconds)
+    speedup = fast_rate / loop_rate
+    if speedup < MIN_DENSITY_SPEEDUP:
+        raise AssertionError(
+            f"batched density-selection speedup {speedup:.2f}x is below "
+            f"the {MIN_DENSITY_SPEEDUP}x floor")
+
+    tiled_rate, _ = _throughput(lambda: model.score_tiled(sweep), n, min_seconds)
+    kde = GaussianKdeDensity().fit(reference)
+    kde_rate, _ = _throughput(lambda: kde.score_tiled(sweep), n, min_seconds)
+
+    return {
+        "rows": n,
+        "n_candidates": m,
+        "n_reference": len(reference),
+        "rows_per_sec": round(fast_rate, 1),
+        "rows_per_sec_loop": round(loop_rate, 1),
+        "candidates_per_sec": round(fast_rate * m, 1),
+        "speedup_batched_vs_loop": round(speedup, 2),
+        "tiled_scorer_rows_per_sec": round(tiled_rate, 1),
+        "kde_rows_per_sec": round(kde_rate, 1),
+        "calls": fast_calls + loop_calls,
+    }
+
+
 def _serve_section(spec, seed):
     """Time cold-start vs warm-start serving on the bench workload.
 
@@ -259,10 +343,14 @@ def _serve_section(spec, seed):
     store and answer one ``serve_rows`` batch (what a process without an
     artifact must do).  Warm start = rebuild the service from the store
     and answer the same batch.  The cache-hit replay answers it a second
-    time from the LRU cache.
+    time from the LRU cache.  A density-aware warm start (k-NN state
+    persisted next to the artifact, served via ``density="store"``)
+    rides along to prove the paper's density criterion survives a
+    process restart.
     """
     import tempfile
 
+    from ..density import fit_class_density
     from ..serve import ArtifactStore, ExplanationService, train_pipeline
     from .runconfig import ExperimentScale
 
@@ -294,6 +382,21 @@ def _serve_section(spec, seed):
         service.explain_batch(rows)
         cached_seconds = max(time.perf_counter() - start, 1e-9)
 
+        # density-aware warm start: persist fitted k-NN state, rebuild the
+        # service from disk and serve the batch density-selected
+        x_train, y_train = pipeline.bundle.split("train")
+        density = fit_class_density(
+            "knn", x_train, y_train, pipeline.bundle.schema.desired_class,
+            k_neighbors=8)
+        store.save_density("bench", density)
+        start = time.perf_counter()
+        dense_service = ExplanationService.warm_start(
+            store, "bench", density="store")
+        dense_result = dense_service.explain_batch(rows)
+        warm_density_seconds = time.perf_counter() - start
+        if dense_result.x_cf.shape != warm_result.x_cf.shape:
+            raise AssertionError("density-aware warm start lost rows")
+
     return {
         "rows": len(rows),
         "cold_start_seconds": round(cold_seconds, 4),
@@ -301,11 +404,14 @@ def _serve_section(spec, seed):
         "speedup_cold_vs_warm": round(cold_seconds / warm_seconds, 1),
         "warm_rows_per_sec": round(len(rows) / warm_seconds, 1),
         "cache_hit_rows_per_sec": round(len(rows) / cached_seconds, 1),
+        "warm_density_seconds": round(warm_density_seconds, 4),
+        "warm_density_rows_per_sec": round(
+            len(rows) / max(warm_density_seconds, 1e-9), 1),
     }
 
 
 def run_perfbench(scale="smoke", seed=0):
-    """Run the three timed sections and return a result dict."""
+    """Run every timed section and return a result dict."""
     if scale not in PERF_SCALES:
         raise KeyError(f"unknown scale {scale!r}; options: {sorted(PERF_SCALES)}")
     spec = PERF_SCALES[scale]
@@ -387,6 +493,7 @@ def run_perfbench(scale="smoke", seed=0):
         },
         "constraint_eval": _constraint_eval_section(
             bundle, spec, min_seconds, seed),
+        "density": _density_section(explainer, bundle, spec, min_seconds, seed),
         "serve": _serve_section(spec, seed),
     }
     if scale == PRE_PR_BASELINE["scale"]:

@@ -15,7 +15,8 @@ diagnostics make it measurable:
 from __future__ import annotations
 
 import numpy as np
-from scipy.spatial import cKDTree
+
+from ..density import KnnDensity
 
 __all__ = ["knn_label_agreement", "centroid_separation", "density_grid"]
 
@@ -24,7 +25,8 @@ def knn_label_agreement(embedding, labels, k=10):
     """Mean fraction of each point's k neighbours sharing its label.
 
     0.5 means fully mixed classes (for balanced labels); 1.0 means
-    perfectly separated clusters.
+    perfectly separated clusters.  ``k`` is clipped to ``n - 1``
+    neighbours, so any oversized k degrades to all-other-points.
     """
     embedding = np.asarray(embedding, dtype=np.float64)
     labels = np.asarray(labels)
@@ -34,7 +36,7 @@ def knn_label_agreement(embedding, labels, k=10):
     k = min(k, n - 1)
     if k < 1:
         raise ValueError("need at least 2 points")
-    tree = cKDTree(embedding)
+    tree = KnnDensity(k_neighbors=k).fit(embedding)
     _, neighbors = tree.query(embedding, k=k + 1)
     neighbor_labels = labels[neighbors[:, 1:]]
     agreement = (neighbor_labels == labels[:, None]).mean(axis=1)
@@ -62,18 +64,33 @@ def centroid_separation(embedding, labels):
     return float(between / (within + 1e-12))
 
 
+def _span_edges(values, bins):
+    """Histogram bin edges over a coordinate, padded when degenerate.
+
+    A constant coordinate would produce zero-width (non-increasing)
+    edges, which ``np.histogram2d`` rejects; padding half a unit either
+    side keeps the grid well-formed with every point in the middle bins.
+    """
+    lo, hi = float(values.min()), float(values.max())
+    if hi - lo < 1e-12:
+        lo, hi = lo - 0.5, hi + 0.5
+    return np.linspace(lo, hi, bins + 1)
+
+
 def density_grid(embedding, labels, bins=20):
     """Per-label 2-D histograms over a shared grid.
 
     Returns ``(grid_per_label, x_edges, y_edges)`` where ``grid_per_label``
-    maps each label value to its (bins x bins) count matrix.
+    maps each label value to its (bins x bins) count matrix.  Degenerate
+    embeddings (a constant coordinate) get padded edges instead of a
+    histogram error.
     """
     embedding = np.asarray(embedding, dtype=np.float64)
     if embedding.shape[1] != 2:
         raise ValueError("density_grid expects a 2-D embedding")
     labels = np.asarray(labels)
-    x_edges = np.linspace(embedding[:, 0].min(), embedding[:, 0].max(), bins + 1)
-    y_edges = np.linspace(embedding[:, 1].min(), embedding[:, 1].max(), bins + 1)
+    x_edges = _span_edges(embedding[:, 0], bins)
+    y_edges = _span_edges(embedding[:, 1], bins)
     grids = {}
     for value in np.unique(labels):
         points = embedding[labels == value]

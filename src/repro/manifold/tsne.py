@@ -52,7 +52,74 @@ def _row_affinities(distances_row, beta):
 
 
 def _binary_search_perplexity(distances, perplexity, tol=1e-5, max_iter=50):
-    """Per-point precision (beta) matching ``log2(perplexity)`` entropy."""
+    """Per-point precision (beta) matching ``log2(perplexity)`` entropy.
+
+    Batched: every still-unconverged row steps through the same binary
+    search simultaneously — one ``exp``/normalise/entropy evaluation per
+    iteration over the active rows instead of one Python loop iteration
+    per point.  Because each row's arithmetic is independent and the
+    per-row reductions keep their length and order, the result is
+    bit-identical to :func:`_binary_search_perplexity_loop` (the original
+    scalar loop, kept as the parity reference).
+    """
+    n = len(distances)
+    target = np.log2(perplexity)
+    # off-diagonal distances, row-major: row i keeps its n-1 neighbours in
+    # exactly np.delete(distances[i], i) order
+    off_diag = distances[~np.eye(n, dtype=bool)].reshape(n, n - 1)
+
+    beta = np.ones(n)
+    beta_min = np.full(n, -np.inf)
+    beta_max = np.full(n, np.inf)
+    affinity_rows = np.empty((n, n - 1))
+    active = np.arange(n)
+    for _ in range(max_iter):
+        rows = off_diag[active]
+        scaled = np.exp(-rows * beta[active][:, None])
+        totals = scaled.sum(axis=1)
+        positive = totals > 0
+        p = np.where(
+            positive[:, None],
+            scaled / np.where(positive, totals, 1.0)[:, None],
+            1.0 / (n - 1),
+        )
+        entropy = np.where(
+            positive, -(p * np.log2(p + _EPS)).sum(axis=1), 0.0)
+        affinity_rows[active] = p
+
+        diff = entropy - target
+        undecided = np.abs(diff) >= tol
+        if not undecided.any():
+            break
+        active = active[undecided]
+        diff = diff[undecided]
+
+        hot = diff > 0  # entropy too high -> sharpen
+        hot_rows, cold_rows = active[hot], active[~hot]
+        beta_min[hot_rows] = beta[hot_rows]
+        beta[hot_rows] = np.where(
+            beta_max[hot_rows] == np.inf,
+            beta[hot_rows] * 2.0,
+            (beta[hot_rows] + beta_max[hot_rows]) / 2.0,
+        )
+        beta_max[cold_rows] = beta[cold_rows]
+        beta[cold_rows] = np.where(
+            beta_min[cold_rows] == -np.inf,
+            beta[cold_rows] / 2.0,
+            (beta[cold_rows] + beta_min[cold_rows]) / 2.0,
+        )
+
+    affinities = np.zeros((n, n))
+    affinities[~np.eye(n, dtype=bool)] = affinity_rows.ravel()
+    return affinities
+
+
+def _binary_search_perplexity_loop(distances, perplexity, tol=1e-5, max_iter=50):
+    """Scalar per-point reference for :func:`_binary_search_perplexity`.
+
+    The original implementation, kept as the ground truth the batched
+    search must reproduce exactly.  Only the parity tests should call it.
+    """
     n = len(distances)
     target = np.log2(perplexity)
     affinities = np.zeros((n, n))

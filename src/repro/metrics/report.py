@@ -26,6 +26,11 @@ class MethodReport:
     ``feasibility_unary`` / ``feasibility_binary`` may be None when the
     method row reports only one constraint model (as the paper does for
     Mahajan et al. and its own two model variants).
+    ``mean_knn_distance`` is the density column — the mean region-
+    sparsity cost of the selected counterfactuals under the engine's
+    density model (mean feasible-reference k-NN distance for the default
+    estimator) — and is None when no density model was hosted, so the
+    paper's original seven-column table is unchanged.
     """
 
     method: str
@@ -36,6 +41,7 @@ class MethodReport:
     categorical_proximity: float
     sparsity: float
     n_instances: int = 0
+    mean_knn_distance: float = None
 
     def as_row(self):
         """Cells in the paper's Table IV column order."""
@@ -46,7 +52,8 @@ class MethodReport:
 
 def evaluate_counterfactuals(method_name, x, x_cf, desired, blackbox, encoder,
                              stats=None, x_train=None, report_kinds=("unary", "binary"),
-                             feasibility_report=None, predicted=None):
+                             feasibility_report=None, predicted=None,
+                             density_scores=None):
     """Compute the full metric bundle for one method's counterfactuals.
 
     Parameters
@@ -79,6 +86,11 @@ def evaluate_counterfactuals(method_name, x, x_cf, desired, blackbox, encoder,
     predicted:
         Optional precomputed black-box classes of ``x_cf``; skips the
         validity-column predict call.
+    density_scores:
+        Optional per-row density costs of ``x_cf`` under a fitted
+        :class:`repro.density.DensityModel` (the engine runner passes
+        the scores of the run being evaluated); their mean fills the
+        report's ``mean_knn_distance`` column.
     """
     x = np.asarray(x)
     x_cf = np.asarray(x_cf)
@@ -117,4 +129,7 @@ def evaluate_counterfactuals(method_name, x, x_cf, desired, blackbox, encoder,
         categorical_proximity=categorical_proximity(x, x_cf, encoder),
         sparsity=sparsity_score(x, x_cf, encoder),
         n_instances=len(x),
+        mean_knn_distance=(
+            None if density_scores is None
+            else float(np.mean(density_scores))),
     )

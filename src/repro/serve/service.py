@@ -14,6 +14,13 @@ core strategy) and batches route through the shared
 :class:`repro.engine.EngineRunner` instead of the core generator.  Cache
 keys carry a strategy fingerprint, so results from different strategies
 never collide.
+
+It is also density-aware: pass a fitted
+:class:`repro.density.DensityModel` (or warm-start one straight from
+the artifact store's persisted density state) and cache-miss rows are
+selected by the Figure 3 proximity+density score through the engine
+runner — the paper's density criterion survives a process restart.
+Cache keys additionally carry the density fingerprint.
 """
 
 from __future__ import annotations
@@ -71,16 +78,42 @@ class ExplanationService:
         Optional fitted :class:`repro.engine.CFStrategy`.  When given,
         cache-miss rows are explained by that strategy through the shared
         engine runner instead of the pipeline's core generator.
+    density:
+        Optional fitted :class:`repro.density.DensityModel`.  When
+        given, the engine runner hosts it: multi-candidate batches are
+        selected density-aware, and the core path (no ``strategy``)
+        switches to a diverse ``CoreCFStrategy`` sweep of
+        ``density_candidates`` latent perturbations per row so there is
+        a candidate set for the density criterion to act on.
+    density_weight:
+        Trade-off ``lambda`` of the density-aware selection score.
+    density_candidates:
+        Candidates per row the core path proposes when ``density`` is
+        set (ignored with an explicit ``strategy``).
     """
 
-    def __init__(self, pipeline, cache_size=4096, strategy=None):
+    def __init__(
+        self,
+        pipeline,
+        cache_size=4096,
+        strategy=None,
+        density=None,
+        density_weight=1.0,
+        density_candidates=8,
+    ):
         self.pipeline = pipeline
         self.explainer = pipeline.explainer
         self.strategy = strategy
+        self.density = density
+        self.density_weight = float(density_weight)
+        self.density_candidates = int(density_candidates)
         self.fingerprint = pipeline.fingerprint
         self._fingerprinted_strategy = strategy
         self._strategy_fingerprint = strategy.fingerprint() if strategy is not None else "core"
+        self._fingerprinted_density = density
+        self._density_fingerprint = density.fingerprint() if density is not None else "none"
         self._runner = None
+        self._core_strategy = None
         self.cache = LRUResultCache(cache_size)
         self._pending = []
         self.batches_served = 0
@@ -90,24 +123,72 @@ class ExplanationService:
 
     # -- construction --------------------------------------------------------
     @classmethod
-    def warm_start(cls, store, name, expected_fingerprint=None, cache_size=4096, strategy=None):
+    def warm_start(
+        cls,
+        store,
+        name,
+        expected_fingerprint=None,
+        cache_size=4096,
+        strategy=None,
+        density=None,
+        density_weight=1.0,
+        density_candidates=8,
+    ):
         """Build a service from a stored artifact without any training.
 
         ``strategy`` serves a non-core strategy on top of the warm-started
         pipeline (the store persists the shared black-box and CF-VAE; the
-        strategy itself arrives fitted).  Raises the store's
-        ``ArtifactError``/``StaleArtifactError`` when the artifact is
-        missing, corrupted or stale.
+        strategy itself arrives fitted).  ``density`` may be a fitted
+        :class:`repro.density.DensityModel`, or the string ``"store"`` to
+        rebuild the estimator persisted with the artifact
+        (:meth:`repro.serve.ArtifactStore.load_density`, with the
+        warm-started CF-VAE re-attached for latent estimators).  Raises
+        the store's ``ArtifactError``/``StaleArtifactError`` when the
+        artifact is missing, corrupted or stale.
         """
         pipeline = store.load(name, expected_fingerprint=expected_fingerprint)
-        return cls(pipeline, cache_size=cache_size, strategy=strategy)
+        if density == "store":
+            density = store.load_density(name, vae=pipeline.explainer.generator.vae)
+        return cls(
+            pipeline,
+            cache_size=cache_size,
+            strategy=strategy,
+            density=density,
+            density_weight=density_weight,
+            density_candidates=density_candidates,
+        )
 
     @property
     def runner(self):
-        """Shared engine runner over the pipeline (built lazily)."""
-        if self._runner is None:
-            self._runner = EngineRunner(self.encoder, self.explainer.blackbox)
+        """Shared engine runner over the pipeline (built lazily).
+
+        Rebuilt when :attr:`density` or :attr:`density_weight` is
+        re-pointed so the hosted density configuration always matches
+        the one the cache keys are derived from.
+        """
+        if (
+            self._runner is None
+            or self._runner.density is not self.density
+            or self._runner.density_weight != self.density_weight
+        ):
+            self._runner = EngineRunner(
+                self.encoder,
+                self.explainer.blackbox,
+                density=self.density,
+                density_weight=self.density_weight,
+            )
         return self._runner
+
+    @property
+    def core_strategy(self):
+        """Diverse core sweep used when density is served without a strategy."""
+        if self._core_strategy is None:
+            from ..engine import CoreCFStrategy
+
+            self._core_strategy = CoreCFStrategy(
+                self.explainer, n_candidates=self.density_candidates
+            )
+        return self._core_strategy
 
     @property
     def encoder(self):
@@ -148,12 +229,40 @@ class ExplanationService:
         return self._strategy_fingerprint
 
     @property
-    def cache_fingerprint(self):
-        """Composite cache-key component: pipeline plus strategy identity."""
-        return f"{self.pipeline.fingerprint}:{self.strategy_fingerprint}"
+    def density_fingerprint(self):
+        """Fingerprint of the served density configuration.
 
-    def _key(self, row, desired):
-        return (row.tobytes(), int(desired), self.cache_fingerprint)
+        ``"none"`` without a model; otherwise the estimator fingerprint
+        tagged with the selection weight (the weight changes which
+        candidate wins, so it is cache-relevant).  Recomputed when
+        ``self.density`` is re-pointed, so switching estimators or
+        weights can never serve stale cross-density cache hits.
+        Invalidation is identity-based (like the strategy fingerprint):
+        to change the reference population, attach a freshly fitted
+        estimator rather than calling ``fit`` on the hosted one —
+        an in-place refit is not detected.
+        """
+        if self.density is not self._fingerprinted_density:
+            self._fingerprinted_density = self.density
+            self._density_fingerprint = (
+                self.density.fingerprint() if self.density is not None else "none"
+            )
+        if self.density is None:
+            return self._density_fingerprint
+        return f"{self._density_fingerprint}@w{self.density_weight}"
+
+    @property
+    def cache_fingerprint(self):
+        """Composite cache-key component: pipeline, strategy and density.
+
+        Uses the pipeline fingerprint hashed once at construction —
+        recomputing it per lookup would re-serialise the config and
+        schema on every cached row.
+        """
+        return f"{self.fingerprint}:{self.strategy_fingerprint}:{self.density_fingerprint}"
+
+    def _key(self, row, desired, fingerprint):
+        return (row.tobytes(), int(desired), fingerprint)
 
     # -- batch serving -------------------------------------------------------
     def explain_batch(self, rows, desired=None):
@@ -172,9 +281,11 @@ class ExplanationService:
         predicted = np.empty(n_rows, dtype=int)
         feasible = np.empty(n_rows, dtype=bool)
 
+        # invariant for the whole batch: hoist it off the per-row path
+        fingerprint = self.cache_fingerprint
         miss_indices = []
         for i in range(n_rows):
-            entry = self.cache.get(self._key(rows[i], desired[i]))
+            entry = self.cache.get(self._key(rows[i], desired[i], fingerprint))
             if entry is None:
                 miss_indices.append(i)
             else:
@@ -184,8 +295,9 @@ class ExplanationService:
             miss = np.asarray(miss_indices)
             sub_rows = rows[miss]
             sub_desired = desired[miss]
-            if self.strategy is not None:
-                sub = self.runner.run(self.strategy, sub_rows, sub_desired)
+            if self.strategy is not None or self.density is not None:
+                # density without a strategy serves the diverse core sweep
+                sub = self.runner.run(self.strategy or self.core_strategy, sub_rows, sub_desired)
                 sub_cf, sub_predicted = sub.x_cf, sub.predicted
                 sub_feasible = sub.feasible
             else:
@@ -200,7 +312,7 @@ class ExplanationService:
                 # .copy(): caching a view would pin the whole batch array
                 # in memory until every one of its rows was evicted
                 self.cache.put(
-                    self._key(rows[i], desired[i]),
+                    self._key(rows[i], desired[i], fingerprint),
                     (sub_cf[j].copy(), int(sub_predicted[j]), bool(sub_feasible[j])),
                 )
 
@@ -261,9 +373,9 @@ class ExplanationService:
             flipped = 1 - self.explainer.blackbox.predict(rows)
             desired = np.where(desired < 0, flipped, desired)
 
-        if self.strategy is not None:
+        if self.strategy is not None or self.density is not None:
             result, diagnostics = self.runner.run(
-                self.strategy, rows, desired, return_diagnostics=True
+                self.strategy or self.core_strategy, rows, desired, return_diagnostics=True
             )
             for i, (ticket, target) in enumerate(zip(tickets, desired)):
                 ticket._result = {

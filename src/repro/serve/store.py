@@ -26,6 +26,7 @@ import numpy as np
 
 from ..core import CFTrainingConfig, FeasibleCFExplainer, paper_config
 from ..data import TabularEncoder, dataset_schema
+from ..density import density_from_state
 from ..experiments.runconfig import get_scale
 from ..models import BlackBoxClassifier, ConditionalVAE
 from ..nn import load_state, save_state
@@ -45,6 +46,8 @@ ARTIFACT_FORMAT_VERSION = 1
 _MANIFEST = "manifest.json"
 _BLACKBOX = "blackbox.npz"
 _CFVAE = "cfvae.npz"
+_DENSITY = "density.npz"
+_DENSITY_META = "density.json"
 
 
 class ArtifactError(RuntimeError):
@@ -254,6 +257,100 @@ class ArtifactStore:
             blackbox_accuracy=manifest["blackbox"]["accuracy"],
             bundle=None,
         )
+
+    # -- density state ------------------------------------------------------
+    def save_density(self, name, model):
+        """Persist a fitted density estimator next to artifact ``name``.
+
+        Arrays of the estimator's state go into ``density.npz``; scalar
+        state, the estimator fingerprint and the npz checksum go into a
+        ``density.json`` sidecar (written last, like the manifest).  The
+        artifact itself must already exist — density state is an overlay
+        on a trained pipeline, never a standalone artifact.
+        """
+        if not self.exists(name):
+            raise ArtifactError(
+                f"no artifact {name!r} to attach density state to; save the pipeline first"
+            )
+        state = model.get_state()
+        arrays = {k: v for k, v in state.items() if isinstance(v, np.ndarray)}
+        scalars = {k: v for k, v in state.items() if not isinstance(v, np.ndarray)}
+        target = self.artifact_dir(name)
+        np.savez(target / _DENSITY, **arrays)
+        meta = {
+            "format_version": ARTIFACT_FORMAT_VERSION,
+            "created_at": time.time(),
+            "state": scalars,
+            "array_keys": sorted(arrays),
+            "fingerprint": model.fingerprint(),
+            "checksum": _file_sha256(target / _DENSITY),
+        }
+        (target / _DENSITY_META).write_text(json.dumps(meta, indent=2) + "\n")
+        return target / _DENSITY_META
+
+    def has_density(self, name):
+        """Whether artifact ``name`` carries persisted density state."""
+        return (self.artifact_dir(name) / _DENSITY_META).is_file()
+
+    def load_density(self, name, vae=None, expected_fingerprint=None):
+        """Rebuild the fitted density estimator stored with ``name``.
+
+        ``vae`` re-attaches the encoder a ``latent`` estimator scores
+        through (pass the warm-started pipeline's CF-VAE).  Raises
+        :class:`StaleArtifactError` when the format version or the
+        recomputed fingerprint disagree with the sidecar, and
+        :class:`ArtifactError` on a missing/corrupt file — the same
+        error contract as :meth:`load`.
+        """
+        target = self.artifact_dir(name)
+        meta_path = target / _DENSITY_META
+        if not meta_path.is_file():
+            raise ArtifactError(
+                f"artifact {name!r} has no density state (missing {_DENSITY_META})"
+            )
+        try:
+            meta = json.loads(meta_path.read_text())
+        except json.JSONDecodeError as error:
+            raise ArtifactError(f"density sidecar of {name!r} is corrupted: {error}") from error
+
+        version = meta.get("format_version")
+        if version != ARTIFACT_FORMAT_VERSION:
+            raise StaleArtifactError(
+                f"density state of {name!r} has format_version={version}, this "
+                f"code reads version {ARTIFACT_FORMAT_VERSION}; refit and re-save"
+            )
+
+        npz_path = target / _DENSITY
+        if not npz_path.is_file():
+            raise ArtifactError(f"artifact {name!r} is missing {_DENSITY}")
+        actual = _file_sha256(npz_path)
+        if actual != meta["checksum"]:
+            raise ArtifactError(
+                f"artifact {name!r}: {_DENSITY} fails its checksum "
+                f"(expected {meta['checksum'][:12]}..., got {actual[:12]}...); "
+                f"the file is corrupted or was edited after save"
+            )
+
+        state = dict(meta["state"])
+        with np.load(npz_path) as data:
+            for key in meta["array_keys"]:
+                state[key] = data[key]
+        model = density_from_state(state, vae=vae)
+        recomputed = model.fingerprint()
+        if recomputed != meta["fingerprint"]:
+            raise StaleArtifactError(
+                f"density state of {name!r} is stale: its fingerprint no "
+                f"longer matches the persisted state "
+                f"(saved {meta['fingerprint'][:12]}..., "
+                f"recomputed {recomputed[:12]}...); refit and re-save"
+            )
+        if expected_fingerprint is not None and expected_fingerprint != recomputed:
+            raise StaleArtifactError(
+                f"density state of {name!r} does not match the requested "
+                f"estimator (stored {recomputed[:12]}..., "
+                f"requested {expected_fingerprint[:12]}...)"
+            )
+        return model
 
     # -- train-or-load ------------------------------------------------------
     def ensure(

@@ -86,11 +86,15 @@ class TestDensityCFSelector:
         selector.fit_reference(x_train[:300])
         assert selector.n_reference >= 5
 
-    def test_fit_reference_rejects_tiny_population(self, fitted):
+    def test_fit_reference_shrinks_tiny_population(self, fitted):
         _, explainer, x_train, _ = fitted
         selector = DensityCFSelector(explainer, k_neighbors=10_000)
-        with pytest.raises(ValueError):
+        with pytest.warns(UserWarning, match="feasible reference examples"):
             selector.fit_reference(x_train[:100])
+        # degraded gracefully: fitted, with k clamped at query time
+        assert 0 < selector.n_reference < 10_000
+        scores = selector.density_score(x_train[:5])
+        assert scores.shape == (5,)
 
     def test_density_score_orders_by_closeness(self, fitted):
         _, explainer, x_train, _ = fitted

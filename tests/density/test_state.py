@@ -1,0 +1,110 @@
+"""Tests for density state round trips and fingerprints."""
+
+import numpy as np
+import pytest
+
+from repro.density import (
+    GaussianKdeDensity,
+    KnnDensity,
+    LatentDensity,
+    density_from_state,
+)
+
+
+class _StubVAE:
+    def __init__(self, d, latent_dim=3, seed=7):
+        rng = np.random.default_rng(seed)
+        self.w = rng.normal(size=(d, latent_dim))
+
+    def encode_array(self, x, labels):
+        mu = np.asarray(x) @ self.w + np.asarray(labels)[:, None]
+        return mu, np.zeros_like(mu)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return np.random.default_rng(0).normal(size=(60, 5))
+
+
+@pytest.fixture(scope="module")
+def points():
+    return np.random.default_rng(1).normal(size=(11, 5))
+
+
+class TestRoundTrip:
+    def test_knn_roundtrip_bitwise(self, reference, points):
+        model = KnnDensity(k_neighbors=4).fit(reference)
+        rebuilt = density_from_state(model.get_state())
+        assert isinstance(rebuilt, KnnDensity)
+        np.testing.assert_array_equal(rebuilt.score(points), model.score(points))
+
+    def test_kde_roundtrip_bitwise(self, reference, points):
+        model = GaussianKdeDensity().fit(reference)
+        rebuilt = density_from_state(model.get_state())
+        np.testing.assert_array_equal(rebuilt.score(points), model.score(points))
+
+    def test_latent_roundtrip_reattaches_vae(self, reference, points):
+        vae = _StubVAE(reference.shape[1])
+        model = LatentDensity(vae=vae, desired_class=0, k_neighbors=4).fit(reference)
+        state = model.get_state()
+        rebuilt = density_from_state(state, vae=vae)
+        np.testing.assert_array_equal(rebuilt.score(points), model.score(points))
+        # state holds the latent reference, never the VAE weights
+        assert state["reference"].shape[1] == vae.w.shape[1]
+
+    def test_latent_state_without_vae_cannot_score(self, reference, points):
+        vae = _StubVAE(reference.shape[1])
+        model = LatentDensity(vae=vae, k_neighbors=4).fit(reference)
+        rebuilt = density_from_state(model.get_state())
+        with pytest.raises(RuntimeError, match="no VAE"):
+            rebuilt.score(points)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError, match="unknown density state"):
+            density_from_state({"kind": "histogram"})
+
+    def test_unfitted_state_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            KnnDensity().get_state()
+
+
+class TestFingerprint:
+    def test_stable_across_rebuilds(self, reference):
+        model = KnnDensity(k_neighbors=4).fit(reference)
+        rebuilt = density_from_state(model.get_state())
+        assert model.fingerprint() == rebuilt.fingerprint()
+
+    def test_changes_with_reference(self, reference):
+        a = KnnDensity(k_neighbors=4).fit(reference)
+        b = KnnDensity(k_neighbors=4).fit(reference + 1.0)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_changes_with_params(self, reference):
+        a = KnnDensity(k_neighbors=4).fit(reference)
+        b = KnnDensity(k_neighbors=5).fit(reference)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_differs_across_kinds(self, reference):
+        knn = KnnDensity().fit(reference)
+        kde = GaussianKdeDensity().fit(reference)
+        assert knn.fingerprint() != kde.fingerprint()
+
+    def test_perf_knobs_do_not_change_the_fingerprint(self, reference):
+        # chunk_size shapes memory use, never scores: same-score
+        # estimators must agree so store/cache staleness checks hold
+        a = GaussianKdeDensity(chunk_size=4096).fit(reference)
+        b = GaussianKdeDensity(chunk_size=7).fit(reference)
+        assert a.fingerprint() == b.fingerprint()
+
+
+class TestFitClassDensity:
+    def test_fits_on_one_class_only(self, reference):
+        from repro.density import fit_class_density
+
+        y = np.zeros(len(reference), dtype=int)
+        y[:20] = 1
+        model = fit_class_density("knn", reference, y, desired_class=1)
+        assert model.n_reference == 20
+        manual = KnnDensity().fit(reference[:20])
+        probe = reference[:5] + 0.2
+        np.testing.assert_array_equal(model.score(probe), manual.score(probe))

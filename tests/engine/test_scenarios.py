@@ -19,17 +19,29 @@ from repro.experiments.runconfig import ExperimentScale
 
 class TestRegistry:
     def test_builtin_grid_is_complete(self):
+        from repro.engine.scenarios import density_variants_for
+
         names = scenario_names()
-        assert len(names) == len(dataset_names()) * len(STRATEGY_NAMES)
+        per_dataset = sum(
+            1 + len(density_variants_for(strategy)) for strategy in STRATEGY_NAMES)
+        assert len(names) == len(dataset_names()) * per_dataset
         for dataset in dataset_names():
             for strategy in STRATEGY_NAMES:
                 assert f"{dataset}/{strategy}" in names
+                for density in density_variants_for(strategy):
+                    assert f"{dataset}/{strategy}+{density}" in names
+
+    def test_grid_is_larger_than_the_pre_density_27(self):
+        assert len(scenario_names()) > 27
 
     def test_filters(self):
-        adult = list(iter_scenarios(dataset="adult"))
+        adult = list(iter_scenarios(dataset="adult", density=None))
         assert len(adult) == len(STRATEGY_NAMES)
-        face = list(iter_scenarios(strategy="face"))
+        face = list(iter_scenarios(strategy="face", density=None))
         assert {s.dataset for s in face} == set(dataset_names())
+        knn = list(iter_scenarios(dataset="adult", density="knn"))
+        assert len(knn) == len(STRATEGY_NAMES)
+        assert all(s.density == "knn" for s in knn)
 
     def test_get_unknown_raises(self):
         with pytest.raises(KeyError, match="unknown scenario"):

@@ -21,7 +21,13 @@ class TestServeSection:
         assert section["speedup_cold_vs_warm"] > 1.0
         assert section["warm_rows_per_sec"] > 0
         assert section["cache_hit_rows_per_sec"] > 0
+        # the density-aware warm start (persisted k-NN state) rides along
+        assert section["warm_density_seconds"] > 0
+        assert section["warm_density_rows_per_sec"] > 0
 
     def test_every_scale_declares_serve_rows(self):
         for name, spec in PERF_SCALES.items():
             assert "serve_rows" in spec, name
+            for key in ("density_reference", "density_rows",
+                        "density_candidates"):
+                assert key in spec, (name, key)

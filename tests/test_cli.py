@@ -107,3 +107,19 @@ class TestExecution:
         assert "SCENARIO adult/dice_random" in out
         assert "validity" in out
         assert (tmp_path / "scenario_adult_dice_random.txt").exists()
+
+    def test_run_scenario_density_variant(self, capsys, tmp_path):
+        code = main(["run-scenario", "--scenario", "adult/dice_random",
+                     "--density", "knn", "--scale", "smoke",
+                     "--out", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SCENARIO adult/dice_random+knn" in out
+        assert "density (mean kNN dist)" in out
+        assert (tmp_path / "scenario_adult_dice_random+knn.txt").exists()
+
+    def test_list_scenarios_shows_density_column(self, capsys):
+        assert main(["list-scenarios", "--strategy", "face"]) == 0
+        out = capsys.readouterr().out
+        assert "adult/face+knn" in out
+        assert "adult/face+kde" in out

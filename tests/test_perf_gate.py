@@ -20,13 +20,14 @@ def gate():
 
 
 def _results(train=100.0, predict=1000.0, candidates=500.0,
-             constraint_eval=2000.0, scenarios=50.0):
+             constraint_eval=2000.0, scenarios=50.0, density=300.0):
     return {
         "train": {"rows_per_sec": train},
         "predict": {"rows_per_sec": predict},
         "candidates": {"rows_per_sec": candidates},
         "constraint_eval": {"rows_per_sec": constraint_eval},
         "scenario_matrix": {"min_rows_per_sec": scenarios},
+        "density": {"rows_per_sec": density},
     }
 
 
@@ -34,7 +35,12 @@ class TestCompare:
     def test_no_regression_passes(self, gate):
         rows, failures = gate.compare(_results(), _results(predict=990.0))
         assert failures == []
-        assert len(rows) == 5
+        assert len(rows) == 6
+
+    def test_density_is_gated(self, gate):
+        _, failures = gate.compare(_results(), _results(density=10.0))
+        assert len(failures) == 1
+        assert "density" in failures[0]
 
     def test_constraint_eval_is_gated(self, gate):
         _, failures = gate.compare(_results(), _results(constraint_eval=100.0))
@@ -51,10 +57,12 @@ class TestCompare:
         old = _results()
         del old["constraint_eval"]
         del old["scenario_matrix"]
+        del old["density"]
         rows, failures = gate.compare(old, _results())
         assert failures == []
         skipped = [r for r in rows if r[2] != r[2]]  # NaN baseline
-        assert {r[0] for r in skipped} == {"constraint_eval", "scenario_matrix"}
+        assert {r[0] for r in skipped} == {
+            "constraint_eval", "scenario_matrix", "density"}
         markdown = gate.render_markdown(rows, 0.30)
         assert "no baseline" in markdown
 
