@@ -10,9 +10,10 @@ Results merge into ``BENCH_engine.json`` as a ``scenario_matrix``
 section (per-strategy rows/sec plus the fleet minimum), which
 ``check_perf_regression.py`` reports as an informational row next to the
 gated fast-path sections.  Density variant rows (``<strategy>+<knn|kde>``
-— the scenario registry's density-aware runner shape) ride along in the
-same section; the ``latent`` estimator needs a trained CF-VAE and is
-covered by tier-1 tests instead of this smoke.
+— the scenario registry's density-aware runner shape) and causal variant
+rows (``<strategy>+<scm|mined>`` — the causal-repairing runner shape)
+ride along in the same section; the ``latent`` estimator needs a trained
+CF-VAE and is covered by tier-1 tests instead of this smoke.
 
 Run directly::
 
@@ -63,12 +64,22 @@ DENSITY_VARIANTS = (
     ("dice_random", "knn"),
 )
 
+#: Causal-aware variants timed on already-fitted strategies: the engine
+#: runner hosts the named causal model, so every proposed candidate
+#: batch pays the repair pass between projection and feasibility.
+CAUSAL_VARIANTS = (
+    ("face", "scm"),
+    ("dice_random", "scm"),
+    ("dice_random", "mined"),
+)
+
 #: Tiny fixed workload so the matrix stays a smoke test.
 BENCH_SCALE = ExperimentScale("scenario-bench", 1500, 24, 6)
 
 
 def run_matrix(seed=0):
     """Fit and time every baseline scenario; returns the section dict."""
+    from repro.causal import fit_causal
     from repro.density import fit_class_density
 
     context = prepare_context("adult", scale=BENCH_SCALE, seed=seed)
@@ -76,9 +87,9 @@ def run_matrix(seed=0):
     runner = EngineRunner(encoder, context.blackbox)
 
     def timed_run(run_runner, strategy):
-        # diagnostics force the density scoring pass (when hosted) into
-        # the timed window — the shape runner.evaluate serves
-        diagnostics = run_runner.density is not None
+        # diagnostics force the density/causal scoring pass (when
+        # hosted) into the timed window — the shape runner.evaluate serves
+        diagnostics = run_runner.density is not None or run_runner.causal is not None
         run_runner.run(strategy, context.x_explain, context.desired)  # warm-up
         start = time.perf_counter()
         result = run_runner.run(
@@ -117,11 +128,19 @@ def run_matrix(seed=0):
         strategies[f"{name}+{density_name}"] = timed_run(
             dense_runner, fitted[name])
 
+    for name, causal_name in CAUSAL_VARIANTS:
+        model = fit_causal(
+            causal_name, encoder, context.x_train, context.y_train)
+        causal_runner = EngineRunner(encoder, context.blackbox, causal=model)
+        strategies[f"{name}+{causal_name}"] = timed_run(
+            causal_runner, fitted[name])
+
     rates = [entry["rows_per_sec"] for entry in strategies.values()]
     return {
         "rows": len(context.x_explain),
         "n_strategies": len(strategies),
         "n_density_variants": len(DENSITY_VARIANTS),
+        "n_causal_variants": len(CAUSAL_VARIANTS),
         "min_rows_per_sec": round(min(rates), 1),
         "strategies": strategies,
     }
@@ -141,7 +160,8 @@ def merge_into_bench(section, output=DEFAULT_OUTPUT):
 def test_scenario_matrix(artifact_dir):
     """Pytest entry: every baseline runs through the engine, JSON merged."""
     section = run_matrix(seed=0)
-    assert section["n_strategies"] == len(BASELINE_MATRIX) + len(DENSITY_VARIANTS)
+    assert section["n_strategies"] == (
+        len(BASELINE_MATRIX) + len(DENSITY_VARIANTS) + len(CAUSAL_VARIANTS))
     assert section["min_rows_per_sec"] > 0
     merge_into_bench(section)
     artifact = artifact_dir / "bench_scenario_matrix.json"

@@ -34,6 +34,7 @@ GATED_METRICS = {
     "candidates": "rows_per_sec",
     "constraint_eval": "rows_per_sec",
     "density": "rows_per_sec",
+    "causal": "rows_per_sec",
 }
 
 #: Reported in the table but never failing: training throughput and the

@@ -1,0 +1,34 @@
+"""Unified batch-first causal subsystem (the paper's first pillar).
+
+One ``CausalModel`` layer turns SCM knowledge into a service the whole
+stack shares: the engine runner repairs every strategy's candidate
+sweeps into causal consistency, Table IV gains a ``causal_plausibility``
+column, the artifact store persists fingerprinted causal state, the
+serving layer answers causally-repaired warm-start batches and the
+scenario registry grows ``+scm`` / ``+mined`` variants.  See
+``docs/causal.md``.
+"""
+
+from .base import (
+    CAUSAL_NAMES,
+    CAUSAL_TOLERANCE,
+    CausalModel,
+    build_causal,
+    causal_from_state,
+    fit_causal,
+)
+from .equations import StructuralEquation, scm_equations
+from .models import MinedCausalModel, ScmCausalModel
+
+__all__ = [
+    "CAUSAL_NAMES",
+    "CAUSAL_TOLERANCE",
+    "CausalModel",
+    "MinedCausalModel",
+    "ScmCausalModel",
+    "StructuralEquation",
+    "build_causal",
+    "causal_from_state",
+    "fit_causal",
+    "scm_equations",
+]

@@ -62,6 +62,13 @@ def build_parser():
                              "scenario's density variant; serve-demo fits it, "
                              "persists it to the artifact store and serves "
                              "density-aware from the warm start")
+    parser.add_argument("--causal", default=None,
+                        choices=["scm", "mined"],
+                        help="causal model: run-scenario runs the scenario's "
+                             "causal variant (candidates repaired before "
+                             "feasibility); serve-demo fits it, persists it "
+                             "to the artifact store and serves causally "
+                             "repaired from the warm start")
     return parser
 
 
@@ -121,7 +128,7 @@ def _run_discover(dataset, scale, seed, out_dir):
 
 
 def _run_serve_demo(dataset, scale, seed, out_dir, artifact_dir, rows,
-                    strategy_name=None, density_name=None):
+                    strategy_name=None, density_name=None, causal_name=None):
     """Train-or-load an artifact, then serve a warm-start batch twice.
 
     Demonstrates the full serving loop: ensure a fresh artifact in the
@@ -136,7 +143,11 @@ def _run_serve_demo(dataset, scale, seed, out_dir, artifact_dir, rows,
     default core path then picks each row's counterfactual from a
     diverse candidate sweep by the Figure 3 proximity+density score,
     while single-candidate baseline strategies gain density scoring and
-    density-fingerprinted caching without a selection change.
+    density-fingerprinted caching without a selection change.  With
+    ``--causal`` the named causal model is fitted on the training split,
+    persisted next to the artifact and served from the warm start
+    (``causal="store"``): every served batch is causally repaired before
+    validity/feasibility, whichever strategy answers it.
     """
     import time
 
@@ -182,9 +193,21 @@ def _run_serve_demo(dataset, scale, seed, out_dir, artifact_dir, rows,
         density = "store"  # prove the round trip: serve from disk state
         fit_density_seconds = time.perf_counter() - start
 
+    causal = None
+    fit_causal_seconds = 0.0
+    if causal_name is not None:
+        from .causal import fit_causal
+
+        start = time.perf_counter()
+        x_train, y_train = bundle.split("train")
+        model = fit_causal(causal_name, pipeline.encoder, x_train, y_train)
+        store.save_causal(name, model)
+        causal = "store"  # prove the round trip: serve from disk state
+        fit_causal_seconds = time.perf_counter() - start
+
     start = time.perf_counter()
     service = ExplanationService.warm_start(
-        store, name, strategy=strategy, density=density)
+        store, name, strategy=strategy, density=density, causal=causal)
     result = service.explain_batch(batch)
     warm_seconds = time.perf_counter() - start
 
@@ -196,6 +219,8 @@ def _run_serve_demo(dataset, scale, seed, out_dir, artifact_dir, rows,
     served = strategy_name or "core generator"
     if density_name is not None:
         served += f" + {density_name} density"
+    if causal_name is not None:
+        served += f" + {causal_name} causal"
     table_rows = [
         ["ensure artifact", ensure_seconds,
          "cache hit" if was_cached else "cold train + save"],
@@ -204,6 +229,9 @@ def _run_serve_demo(dataset, scale, seed, out_dir, artifact_dir, rows,
         ["cached batch", cached_seconds,
          f"{stats['cache_hits']} cache hits"],
     ]
+    if causal_name is not None:
+        table_rows.insert(1, ["fit + persist causal", fit_causal_seconds,
+                              f"{causal_name}, served from store state"])
     if density_name is not None:
         table_rows.insert(1, ["fit + persist density", fit_density_seconds,
                               f"{density_name}, served from store state"])
@@ -216,13 +244,14 @@ def _run_serve_demo(dataset, scale, seed, out_dir, artifact_dir, rows,
     _emit(table, out_dir, f"serve_demo_{dataset}.txt")
 
 
-def _run_scenario(scenario_name, scale, seed, out_dir, density=None):
+def _run_scenario(scenario_name, scale, seed, out_dir, density=None,
+                  causal=None):
     """Run one registered scenario and print its Table IV-style row.
 
-    ``density`` switches to the scenario's ``+<density>`` registry
-    variant (building an ad-hoc variant when none is registered, e.g.
-    ``latent`` on a baseline — which then fails with the registry's
-    clear error instead of a silent fallback).
+    ``density`` / ``causal`` switch to the scenario's ``+<model>``
+    registry variant (building an ad-hoc variant when none is
+    registered, e.g. ``latent`` on a baseline — which then fails with
+    the registry's clear error instead of a silent fallback).
     """
     import dataclasses
 
@@ -230,12 +259,15 @@ def _run_scenario(scenario_name, scale, seed, out_dir, density=None):
     from .utils.tables import render_table
 
     scenario = get_scenario(scenario_name)
-    if density is not None and scenario.density != density:
-        variant = f"{scenario_name}+{density}"
+    for field_name, wanted in (("density", density), ("causal", causal)):
+        if wanted is None or getattr(scenario, field_name) == wanted:
+            continue
+        variant = f"{scenario.name}+{wanted}"
         try:
             scenario = get_scenario(variant)
         except KeyError:
-            scenario = dataclasses.replace(scenario, name=variant, density=density)
+            scenario = dataclasses.replace(
+                scenario, name=variant, **{field_name: wanted})
     result = run_scenario(scenario, scale=scale, seed=seed)
     report = result.report
     rows = [
@@ -246,6 +278,7 @@ def _run_scenario(scenario_name, scale, seed, out_dir, density=None):
         ["categorical proximity", report.categorical_proximity],
         ["sparsity", report.sparsity],
         ["density (mean kNN dist)", report.mean_knn_distance],
+        ["causal plausibility (%)", report.causal_plausibility],
         ["rows explained", result.n_explained],
         ["blackbox accuracy", result.blackbox_accuracy],
     ]
@@ -268,10 +301,11 @@ def _run_list_scenarios(strategy, out_dir):
     from .utils.tables import render_table
 
     rows = [[s.name, s.dataset, s.strategy, s.constraint_kind, s.desired,
-             s.density or "-"]
+             s.density or "-", s.causal or "-"]
             for s in iter_scenarios(strategy=strategy)]
     text = render_table(
-        ["scenario", "dataset", "strategy", "kind", "desired", "density"], rows,
+        ["scenario", "dataset", "strategy", "kind", "desired", "density",
+         "causal"], rows,
         title=f"Scenario registry ({len(rows)} entries)")
     _emit(text, out_dir, "scenarios.txt")
 
@@ -302,13 +336,14 @@ def main(argv=None):
         _run_serve_demo(args.dataset, args.scale, args.seed, out_dir,
                         args.artifact_dir, args.rows,
                         strategy_name=args.strategy,
-                        density_name=args.density)
+                        density_name=args.density,
+                        causal_name=args.causal)
     if args.command == "run-scenario":
         if args.scenario is None:
             print("run-scenario requires --scenario (see list-scenarios)")
             return 2
         _run_scenario(args.scenario, args.scale, args.seed, out_dir,
-                      density=args.density)
+                      density=args.density, causal=args.causal)
     if args.command == "list-scenarios":
         _run_list_scenarios(args.strategy, out_dir)
     if args.command == "all":

@@ -100,21 +100,35 @@ class ConstraintMiner:
 
     # -- feature views -----------------------------------------------------
     def _cause_levels(self, frame, spec):
-        """Ordinal level per row for a candidate cause, or None."""
+        """Ordinal level per row for a candidate cause, or None.
+
+        Rows whose cause value is missing (None / NaN) or outside the
+        schema vocabulary get a NaN level; ``_evaluate_pair`` masks them
+        out, so a partially dirty column degrades to mining on the
+        observed rows instead of crashing.
+        """
         column = frame[spec.name]
         if spec.ftype is FeatureType.CATEGORICAL:
             if spec.n_categories < _MIN_LEVELS:
                 return None
             lookup = {label: rank for rank, label in enumerate(spec.categories)}
-            return np.array([lookup[value] for value in column], dtype=float)
+            return np.array(
+                [lookup.get(value, np.nan) for value in column], dtype=float)
         if spec.ftype is FeatureType.CONTINUOUS:
-            values = column.astype(float)
-            if len(np.unique(values)) <= self.n_bins:
+            values = np.asarray(column.astype(float), dtype=float)
+            finite = np.isfinite(values)
+            observed = np.unique(values[finite])
+            if len(observed) == 0:
+                return None
+            levels = np.full(len(values), np.nan)
+            if len(observed) <= self.n_bins:
                 # already a small ordinal grid (e.g. tier 1..6)
-                ranks = {v: i for i, v in enumerate(np.unique(values))}
-                return np.array([ranks[v] for v in values], dtype=float)
-            edges = np.quantile(values, np.linspace(0, 1, self.n_bins + 1)[1:-1])
-            return np.digitize(values, edges).astype(float)
+                levels[finite] = np.searchsorted(observed, values[finite])
+            else:
+                edges = np.quantile(
+                    values[finite], np.linspace(0, 1, self.n_bins + 1)[1:-1])
+                levels[finite] = np.digitize(values[finite], edges)
+            return levels
         return None  # binary causes carry no ordinal direction worth mining
 
     # -- scoring ---------------------------------------------------------------
@@ -129,9 +143,24 @@ class ConstraintMiner:
 
     def _evaluate_pair(self, frame, cause_spec, effect_spec):
         levels = self._cause_levels(frame, cause_spec)
-        if levels is None or len(np.unique(levels)) < _MIN_LEVELS:
+        if levels is None:
             return None
-        effect = frame[effect_spec.name].astype(float)
+        effect = np.asarray(frame[effect_spec.name].astype(float), dtype=float)
+        # Degenerate guards: missing cells are masked out, and a pair is
+        # skipped silently when too few observed rows remain, the cause
+        # collapses below _MIN_LEVELS levels, the effect is constant
+        # (rank correlation undefined — scipy would warn) or the
+        # effect's encoded range is unusable (e.g. an all-missing
+        # column fitted NaN bounds).
+        observed = np.isfinite(levels) & np.isfinite(effect)
+        if observed.sum() < _MIN_LEVELS * 5:
+            return None
+        levels, effect = levels[observed], effect[observed]
+        if len(np.unique(levels)) < _MIN_LEVELS or effect.std() == 0:
+            return None
+        low, high = self.encoder.ranges[effect_spec.name]
+        if not np.isfinite(high - low) or high - low <= 0:
+            return None
         rho = float(stats.spearmanr(levels, effect).statistic)
         if not np.isfinite(rho) or rho <= 0:
             return None
@@ -144,7 +173,6 @@ class ConstraintMiner:
         if floor_monotonicity < self.min_floor_monotonicity:
             return None
 
-        low, high = self.encoder.ranges[effect_spec.name]
         total_floor_rise = (floors[-1] - floors[0]) / (high - low)
         # Acceptance: either the bulk correlation is clear, or the floor
         # signature is unambiguous — a strictly rising minimum with a

@@ -7,7 +7,12 @@ relations the constraints reference (see DESIGN.md section 2).
 
 from .adult import ADULT_SCHEMA, EDUCATION_LEVELS, EDUCATION_MIN_AGE, generate_adult
 from .frame import TabularFrame
-from .kdd_census import KDD_EDUCATION_LEVELS, KDD_SCHEMA, generate_kdd_census
+from .kdd_census import (
+    KDD_EDUCATION_LEVELS,
+    KDD_EDUCATION_MIN_AGE,
+    KDD_SCHEMA,
+    generate_kdd_census,
+)
 from .law_school import LAW_SCHEMA, generate_law_school
 from .preprocess import TabularEncoder, clean
 from .registry import (
@@ -23,7 +28,8 @@ from .splits import train_val_test_split
 __all__ = [
     "FeatureType", "FeatureSpec", "DatasetSchema", "TabularFrame",
     "ADULT_SCHEMA", "EDUCATION_LEVELS", "EDUCATION_MIN_AGE", "generate_adult",
-    "KDD_SCHEMA", "KDD_EDUCATION_LEVELS", "generate_kdd_census",
+    "KDD_SCHEMA", "KDD_EDUCATION_LEVELS", "KDD_EDUCATION_MIN_AGE",
+    "generate_kdd_census",
     "LAW_SCHEMA", "generate_law_school",
     "TabularEncoder", "clean", "train_val_test_split",
     "DatasetBundle", "load_dataset", "dataset_names", "dataset_schema",

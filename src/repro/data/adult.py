@@ -23,7 +23,8 @@ from .frame import TabularFrame
 from .schema import DatasetSchema, FeatureSpec, FeatureType
 from .scm import bernoulli_logit, conditional_categorical, inject_missing, sample_categorical
 
-__all__ = ["ADULT_SCHEMA", "EDUCATION_LEVELS", "EDUCATION_MIN_AGE", "generate_adult"]
+__all__ = ["ADULT_SCHEMA", "EDUCATION_LEVELS", "EDUCATION_MIN_AGE",
+           "HOURS_EQUATION", "generate_adult"]
 
 RAW_INSTANCES = 48_842
 CLEAN_INSTANCES = 32_561
@@ -38,6 +39,19 @@ EDUCATION_LEVELS = (
 EDUCATION_MIN_AGE = {
     "school": 17, "hs_grad": 18, "some_college": 19, "assoc": 20,
     "bachelors": 22, "masters": 24, "doctorate": 27,
+}
+
+#: Deterministic skeleton of the ``hours_per_week`` structural equation
+#: (Gaussian noise is added on top when sampling):
+#: ``hours = base + per_occupation_rank * (rank - anchor_rank) +
+#: gender_shift * gender``.  Shared with :mod:`repro.causal.equations`,
+#: which uses the same coefficients for abduction-action-prediction
+#: repair, so the causal layer and the generator can never drift apart.
+HOURS_EQUATION = {
+    "base": 40.0,
+    "per_occupation_rank": 4.0,
+    "anchor_rank": 2.0,
+    "gender_shift": 3.0,
 }
 
 WORKCLASSES = ("private", "self_employed", "government", "unemployed")
@@ -152,9 +166,10 @@ def generate_adult(n_instances=RAW_INSTANCES, seed=0, missing_fraction=None):
     occupation_rank = np.array(
         [OCCUPATIONS.index(level) for level in occupation], dtype=np.float64)
     hours = np.clip(
-        40.0
-        + 4.0 * (occupation_rank - 2.0)
-        + 3.0 * gender
+        HOURS_EQUATION["base"]
+        + HOURS_EQUATION["per_occupation_rank"]
+        * (occupation_rank - HOURS_EQUATION["anchor_rank"])
+        + HOURS_EQUATION["gender_shift"] * gender
         + rng.normal(0.0, 9.0, size=n_instances),
         1.0, 99.0)
 

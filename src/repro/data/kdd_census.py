@@ -19,7 +19,8 @@ from .frame import TabularFrame
 from .schema import DatasetSchema, FeatureSpec, FeatureType
 from .scm import bernoulli_logit, conditional_categorical, inject_missing, standardize
 
-__all__ = ["KDD_SCHEMA", "KDD_EDUCATION_LEVELS", "generate_kdd_census"]
+__all__ = ["KDD_SCHEMA", "KDD_EDUCATION_LEVELS", "KDD_EDUCATION_MIN_AGE",
+           "WAGE_EQUATION", "WEEKS_EQUATION", "generate_kdd_census"]
 
 RAW_INSTANCES = 299_285
 CLEAN_INSTANCES = 199_522
@@ -29,9 +30,35 @@ KDD_EDUCATION_LEVELS = (
     "assoc", "bachelors", "masters", "doctorate",
 )
 
-_EDUCATION_MIN_AGE = {
+#: Minimum attainable age per education level; the SCM never violates
+#: these (mirrors :data:`repro.data.adult.EDUCATION_MIN_AGE`), which is
+#: what makes the education/age constraint causal on this dataset too.
+KDD_EDUCATION_MIN_AGE = {
     "children": 0, "less_than_hs": 10, "hs_grad": 18, "some_college": 19,
     "assoc": 20, "bachelors": 22, "masters": 24, "doctorate": 27,
+}
+
+#: Deterministic skeleton of the ``wage_per_hour`` structural equation
+#: (noise on top): ``wage = base + per_education_rank * rank +
+#: per_year_of_age * age``.  Shared with :mod:`repro.causal.equations`.
+WAGE_EQUATION = {
+    "base": 6.0,
+    "per_education_rank": 3.5,
+    "per_year_of_age": 0.15,
+}
+
+#: Deterministic skeleton of the ``weeks_worked`` structural equation.
+#: The sampled utilization is uniform in
+#: ``[base_utilization, base_utilization + utilization_span]``; the
+#: causal layer predicts with its mean.
+WEEKS_EQUATION = {
+    "weeks_full_year": 52.0,
+    "working_age_start": 16.0,
+    "working_age_span": 30.0,
+    "base_utilization": 0.4,
+    "utilization_span": 0.6,
+    "hs_grad_bonus": 4.0,
+    "min_bonus_rank": 2,
 }
 
 RACES = ("white", "black", "asian_pacific", "amer_indian", "other")
@@ -105,7 +132,7 @@ KDD_SCHEMA = _build_schema()
 
 def _sample_education(rng, age):
     levels = np.array(KDD_EDUCATION_LEVELS, dtype=object)
-    min_ages = np.array([_EDUCATION_MIN_AGE[level] for level in KDD_EDUCATION_LEVELS])
+    min_ages = np.array([KDD_EDUCATION_MIN_AGE[level] for level in KDD_EDUCATION_LEVELS])
     feasible = age[:, None] >= min_ages[None, :]
     appetite = np.clip(age / 35.0, 0.0, 1.0)
     base = np.array([0.02, 0.18, 0.30, 0.18, 0.08, 0.14, 0.07, 0.03])
@@ -151,13 +178,20 @@ def generate_kdd_census(n_instances=RAW_INSTANCES, seed=0, missing_fraction=None
     education_rank = np.array(
         [KDD_EDUCATION_LEVELS.index(level) for level in education], dtype=np.float64)
 
-    working_age = np.clip((age - 16.0) / 30.0, 0.0, 1.0)
+    working_age = np.clip(
+        (age - WEEKS_EQUATION["working_age_start"]) / WEEKS_EQUATION["working_age_span"],
+        0.0, 1.0)
     weeks_worked = np.clip(
-        52.0 * working_age * (0.4 + 0.6 * rng.random(n_instances))
-        + 4.0 * (education_rank >= 2),
+        WEEKS_EQUATION["weeks_full_year"] * working_age
+        * (WEEKS_EQUATION["base_utilization"]
+           + WEEKS_EQUATION["utilization_span"] * rng.random(n_instances))
+        + WEEKS_EQUATION["hs_grad_bonus"]
+        * (education_rank >= WEEKS_EQUATION["min_bonus_rank"]),
         0.0, 52.0)
     wage = np.clip(
-        6.0 + 3.5 * education_rank + 0.15 * age
+        WAGE_EQUATION["base"]
+        + WAGE_EQUATION["per_education_rank"] * education_rank
+        + WAGE_EQUATION["per_year_of_age"] * age
         + rng.normal(0.0, 6.0, n_instances),
         0.0, 100.0) * (weeks_worked > 0)
     capital_gains = np.where(

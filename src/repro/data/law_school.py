@@ -19,12 +19,23 @@ from .frame import TabularFrame
 from .schema import DatasetSchema, FeatureSpec, FeatureType
 from .scm import bernoulli_logit, conditional_categorical, inject_missing, standardize
 
-__all__ = ["LAW_SCHEMA", "generate_law_school"]
+__all__ = ["LAW_SCHEMA", "LSAT_EQUATION", "TIER_EQUATION", "ZFYGPA_EQUATION",
+           "ZGPA_EQUATION", "generate_law_school"]
 
 RAW_INSTANCES = 20_798
 CLEAN_INSTANCES = 20_512
 
 RACES = ("white", "black", "hispanic", "asian", "other")
+
+#: Deterministic skeletons of the Law School structural equations (the
+#: Gaussian noise the generator adds on top is what the causal layer
+#: abducts).  Shared with :mod:`repro.causal.equations` so the repair
+#: coefficients can never drift from the sampling coefficients.
+LSAT_EQUATION = {"base": 150.0, "per_aptitude": 8.0,
+                 "per_family_income": 1.5, "family_anchor": 3.0}
+TIER_EQUATION = {"anchor": 3.5, "per_admission_z": 1.4}
+ZFYGPA_EQUATION = {"per_aptitude": 0.55, "per_tier": -0.12, "tier_anchor": 3.5}
+ZGPA_EQUATION = {"per_zfygpa": 0.7, "per_aptitude": 0.25}
 
 LAW_SCHEMA = DatasetSchema(
     name="law_school",
@@ -66,7 +77,9 @@ def generate_law_school(n_instances=RAW_INSTANCES, seed=0, missing_fraction=None
         np.tile((0.84, 0.06, 0.05, 0.04, 0.01), (n_instances, 1)))
 
     lsat = np.clip(
-        150.0 + 8.0 * aptitude + 1.5 * (family_income - 3.0)
+        LSAT_EQUATION["base"] + LSAT_EQUATION["per_aptitude"] * aptitude
+        + LSAT_EQUATION["per_family_income"]
+        * (family_income - LSAT_EQUATION["family_anchor"])
         + rng.normal(0.0, 4.0, n_instances),
         120.0, 180.0)
     ugpa = np.clip(
@@ -74,17 +87,22 @@ def generate_law_school(n_instances=RAW_INSTANCES, seed=0, missing_fraction=None
 
     # Tier is caused by LSAT and GPA: better scores -> more selective tier.
     admission_score = standardize(0.7 * standardize(lsat) + 0.3 * standardize(ugpa))
-    tier = np.clip(np.round(3.5 + 1.4 * admission_score
+    tier = np.clip(np.round(TIER_EQUATION["anchor"]
+                            + TIER_EQUATION["per_admission_z"] * admission_score
                             + rng.normal(0.0, 0.7, n_instances)), 1.0, 6.0)
 
     fulltime = (rng.random(n_instances) < 0.88).astype(np.float64)
     bar_prep = (rng.random(n_instances) < 0.55).astype(np.float64)
 
     zfygpa = np.clip(
-        0.55 * aptitude - 0.12 * (tier - 3.5) + rng.normal(0.0, 0.75, n_instances),
+        ZFYGPA_EQUATION["per_aptitude"] * aptitude
+        + ZFYGPA_EQUATION["per_tier"] * (tier - ZFYGPA_EQUATION["tier_anchor"])
+        + rng.normal(0.0, 0.75, n_instances),
         -3.5, 3.5)
     zgpa = np.clip(
-        0.7 * zfygpa + 0.25 * aptitude + rng.normal(0.0, 0.55, n_instances),
+        ZGPA_EQUATION["per_zfygpa"] * zfygpa
+        + ZGPA_EQUATION["per_aptitude"] * aptitude
+        + rng.normal(0.0, 0.55, n_instances),
         -3.5, 3.5)
 
     logits = (

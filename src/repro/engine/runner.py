@@ -10,13 +10,16 @@ hosts that plumbing exactly once:
 1. ask a :class:`~repro.engine.strategy.CFStrategy` for raw candidates,
 2. project immutable attributes for the whole ``(n, m, d)`` batch in one
    broadcast assignment,
-3. run ONE black-box validity call and ONE compiled-kernel feasibility
+3. causally repair the projected batch in one ``repair_batch`` pass when
+   the runner hosts a fitted :class:`repro.causal.CausalModel`,
+4. run ONE black-box validity call and ONE compiled-kernel feasibility
    pass over all candidates,
-4. select a winner per row (closest valid & feasible, mirroring the
+5. select a winner per row (closest valid & feasible, mirroring the
    serving policy — or the Figure 3 proximity+density score when the
    runner hosts a fitted :class:`repro.density.DensityModel`) and
-5. optionally score the batch into a Table IV :class:`MethodReport`
-   (including the density column when a model is hosted).
+6. optionally score the batch into a Table IV :class:`MethodReport`
+   (including the density and causal-plausibility columns when the
+   matching models are hosted).
 
 Outputs are bit-identical to the pre-engine per-method paths — the
 parity tests in ``tests/engine/`` hold the line — and a runner without a
@@ -59,9 +62,32 @@ class EngineRunner:
         closest-L1 selection bit for bit.
     density_weight:
         Trade-off ``lambda`` of the density-aware selection score.
+    causal:
+        Optional *fitted* :class:`repro.causal.CausalModel`.  When
+        hosted, every strategy's candidate batches are causally repaired
+        between immutable projection and the feasibility kernel (ONE
+        batched ``repair_batch`` pass for the whole ``(n, m, d)``
+        sweep), per-row causal inconsistency costs appear in the run
+        diagnostics, and :meth:`evaluate` fills the Table IV
+        ``causal_plausibility`` column.  ``None`` (the default) keeps
+        the historical pipeline bit for bit.
+    causal_repair:
+        When ``False`` the hosted model only *scores* candidates (the
+        diagnostics and report column still fill) without rewriting
+        them — for measuring how causally plausible a strategy's raw
+        proposals are.
     """
 
-    def __init__(self, encoder, blackbox, constraints=None, density=None, density_weight=1.0):
+    def __init__(
+        self,
+        encoder,
+        blackbox,
+        constraints=None,
+        density=None,
+        density_weight=1.0,
+        causal=None,
+        causal_repair=True,
+    ):
         self.encoder = encoder
         self.blackbox = blackbox
         if constraints is None:
@@ -75,6 +101,8 @@ class EngineRunner:
         self.projector = ImmutableProjector(encoder)
         self.density = density
         self.density_weight = float(density_weight)
+        self.causal = causal
+        self.causal_repair = bool(causal_repair)
 
     # -- constraint bookkeeping ---------------------------------------------
     def flag_indices(self, strategy):
@@ -107,10 +135,26 @@ class EngineRunner:
         selection policy: closest by L1 among valid & feasible, then
         valid-only, then the first (deterministic) candidate.
         """
+        from ..utils.validation import check_encoded_rows
+
+        x = check_encoded_rows(x, self.encoder, "x")
         batch = strategy.propose(x, desired)
         x, desired = batch.x, batch.desired
         n, m, d = batch.candidates.shape
         candidates = self.project(x, batch.candidates)
+
+        sweep_causal = None
+        if self.causal is not None and (self.causal_repair or return_diagnostics):
+            # ONE batched pass repairs (and/or scores) the full sweep;
+            # validate=False because x was checked at run() entry and
+            # the candidates are the runner's own projection output; the
+            # per-candidate repair distance is only reduced when a
+            # caller asked for diagnostics (evaluate does; serving not)
+            repaired = self.causal.repair_batch(x, candidates, validate=False)
+            if return_diagnostics:
+                sweep_causal = np.abs(repaired - candidates).sum(axis=2)
+            if self.causal_repair:
+                candidates = repaired
         flat = candidates.reshape(n * m, d)
 
         predicted = self.blackbox.predict(flat)
@@ -163,6 +207,10 @@ class EngineRunner:
                 else:
                     row_density = sweep_density[np.arange(n), chosen]
                 diagnostics["row_density"] = row_density
+            if sweep_causal is not None:
+                # repair distance of each row's selected candidate: how
+                # far the raw proposal was from causal consistency
+                diagnostics["row_causal"] = sweep_causal[np.arange(n), chosen]
             return result, diagnostics
         return result
 
@@ -208,6 +256,7 @@ class EngineRunner:
             feasibility_report=report,
             predicted=result.predicted,
             density_scores=diagnostics.get("row_density"),
+            causal_scores=diagnostics.get("row_causal"),
         )
 
 

@@ -10,9 +10,11 @@ is a one-liner instead of bespoke glue per entry point.
 Built-in scenarios cover the full Table IV grid (every registry dataset
 times every strategy name) plus the density variants — every grid entry
 with a ``knn`` and ``kde`` density-aware runner, and the core strategies
-additionally with the CF-VAE ``latent`` estimator — named
-``"<dataset>/<strategy>+<density>"``.  ``register_scenario`` adds custom
-entries.
+additionally with the CF-VAE ``latent`` estimator — and the causal
+variants — every grid entry with an ``scm`` (structural-equation repair)
+and ``mined`` (discovered-relation repair) causal-aware runner.  Variant
+names follow ``"<dataset>/<strategy>+<model>"``.  ``register_scenario``
+adds custom entries.
 """
 
 from __future__ import annotations
@@ -80,6 +82,13 @@ class Scenario:
         and the report gains the density column.
     density_weight:
         Trade-off ``lambda`` of the density-aware selection score.
+    causal:
+        Optional causal-model name (``scm`` / ``mined``).  When set, the
+        run's engine runner hosts a fitted
+        :class:`repro.causal.CausalModel` (the mined variant discovers
+        its relations from the training split), candidate batches are
+        causally repaired before feasibility and the report gains the
+        ``causal_plausibility`` column.
     """
 
     name: str
@@ -91,6 +100,7 @@ class Scenario:
     strategy_params: tuple = field(default_factory=tuple)
     density: str = None
     density_weight: float = 1.0
+    causal: str = None
 
     def params(self):
         """``strategy_params`` as a plain dict."""
@@ -116,6 +126,7 @@ def register_scenario(scenario, overwrite=False):
     Validates the dataset and strategy names eagerly so a sweep cannot
     fail halfway through on a typo.
     """
+    from ..causal import CAUSAL_NAMES
     from ..data import dataset_names
     from ..density import DENSITY_NAMES
 
@@ -130,6 +141,10 @@ def register_scenario(scenario, overwrite=False):
     if scenario.density is not None and scenario.density not in DENSITY_NAMES:
         raise KeyError(
             f"unknown density estimator {scenario.density!r}; options: {DENSITY_NAMES}"
+        )
+    if scenario.causal is not None and scenario.causal not in CAUSAL_NAMES:
+        raise KeyError(
+            f"unknown causal model {scenario.causal!r}; options: {CAUSAL_NAMES}"
         )
     if not overwrite and scenario.name in _SCENARIOS:
         raise KeyError(f"scenario {scenario.name!r} already registered")
@@ -151,6 +166,7 @@ def density_variants_for(strategy):
 
 
 def _register_builtins():
+    from ..causal import CAUSAL_NAMES
     from ..data import dataset_names
 
     for dataset in dataset_names():
@@ -178,30 +194,45 @@ def _register_builtins():
                         density=density,
                     )
                 )
+            # causal variants: every strategy's candidates repaired by
+            # the explicit SCM or the mined relations before feasibility
+            for causal in CAUSAL_NAMES:
+                register_scenario(
+                    Scenario(
+                        name=f"{dataset}/{strategy}+{causal}",
+                        dataset=dataset,
+                        strategy=strategy,
+                        constraint_kind=kind,
+                        causal=causal,
+                    )
+                )
 
 
-#: Sentinel for "no density filter" (None filters for density-less entries).
-_ANY_DENSITY = object()
+#: Sentinel for "no filter" (None filters for model-less entries).
+_ANY = object()
 
 
-def scenario_names(dataset=None, strategy=None, density=_ANY_DENSITY):
+def scenario_names(dataset=None, strategy=None, density=_ANY, causal=_ANY):
     """Registered scenario names, optionally filtered."""
-    return [s.name for s in iter_scenarios(dataset=dataset, strategy=strategy, density=density)]
+    matches = iter_scenarios(dataset=dataset, strategy=strategy, density=density, causal=causal)
+    return [s.name for s in matches]
 
 
-def iter_scenarios(dataset=None, strategy=None, density=_ANY_DENSITY):
+def iter_scenarios(dataset=None, strategy=None, density=_ANY, causal=_ANY):
     """Iterate registered scenarios in registration order, filtered.
 
-    ``density`` filters on the estimator name; pass ``None`` explicitly
-    to iterate only the density-less Table IV grid (the default matches
-    every entry).
+    ``density`` / ``causal`` filter on the hosted model name; pass
+    ``None`` explicitly to iterate only entries without that model (the
+    default matches every entry).
     """
     for scenario in _SCENARIOS.values():
         if dataset is not None and scenario.dataset != dataset:
             continue
         if strategy is not None and scenario.strategy != strategy:
             continue
-        if density is not _ANY_DENSITY and scenario.density != density:
+        if density is not _ANY and scenario.density != density:
+            continue
+        if causal is not _ANY and scenario.causal != causal:
             continue
         yield scenario
 
@@ -223,9 +254,10 @@ def run_scenario(scenario, scale=None, seed=0, store=None, context=None, runner=
     reuse the trained context across scenarios of the same dataset.
 
     Density scenarios (``scenario.density`` set) fit the named estimator
-    on the desired-class training rows and run through a density-hosting
-    runner — a passed ``runner`` is not mutated; a dedicated one is
-    built for the density run.
+    on the desired-class training rows, and causal scenarios
+    (``scenario.causal`` set) fit the named causal model on the training
+    split; either runs through a dedicated model-hosting runner — a
+    passed ``runner`` is not mutated.
     """
     from ..experiments.harness import prepare_context
     from .runner import EngineRunner
@@ -253,12 +285,21 @@ def run_scenario(scenario, scale=None, seed=0, store=None, context=None, runner=
     )
     strategy.fit(context.x_train, context.y_train)
 
-    if scenario.density is not None:
+    if scenario.density is not None or scenario.causal is not None:
+        density = None
+        if scenario.density is not None:
+            density = _fit_scenario_density(scenario, context, strategy)
+        causal = None
+        if scenario.causal is not None:
+            from ..causal import fit_causal
+
+            causal = fit_causal(scenario.causal, encoder, context.x_train, context.y_train)
         runner = EngineRunner(
             encoder,
             context.blackbox,
-            density=_fit_scenario_density(scenario, context, strategy),
+            density=density,
             density_weight=scenario.density_weight,
+            causal=causal,
         )
     elif runner is None:
         runner = EngineRunner(encoder, context.blackbox)

@@ -23,6 +23,14 @@ about ("as fast as the hardware allows"):
   (AND-flags, per-kind rates, per-constraint rates).  The two outputs
   are asserted identical before timing, and the compiled path must hold
   a >= 3x speedup.
+* **causal** — the batched causal repair
+  (:meth:`repro.causal.CausalModel.repair_batch`: the full ``(n, m, d)``
+  candidate sweep made causally consistent in ONE vectorized
+  abduction-action-prediction pass) against the per-row ``_repair_loop``
+  a pre-causal-layer stack would run per request.  Outputs are asserted
+  bit-identical before timing and the batched path must hold a >= 3x
+  speedup; the mined-relation model rides along as an informational
+  rate.
 * **density** — the batched density-aware selection
   (:meth:`repro.core.DensityCFSelector.select_batch`: ONE tiled density
   query + one vectorized score pass for the whole sweep) against the
@@ -56,8 +64,8 @@ from ..core.selection import generate_candidates
 from ..data import load_dataset
 from ..models import BlackBoxClassifier, train_classifier
 
-__all__ = ["MIN_DENSITY_SPEEDUP", "MIN_KERNEL_SPEEDUP", "PERF_SCALES",
-           "PRE_PR_BASELINE", "run_perfbench", "write_bench"]
+__all__ = ["MIN_CAUSAL_SPEEDUP", "MIN_DENSITY_SPEEDUP", "MIN_KERNEL_SPEEDUP",
+           "PERF_SCALES", "PRE_PR_BASELINE", "run_perfbench", "write_bench"]
 
 #: Acceptance floor: the compiled feasibility kernel must beat the
 #: per-constraint loop evaluator by at least this factor (the single
@@ -67,6 +75,10 @@ MIN_KERNEL_SPEEDUP = 3.0
 #: Acceptance floor: the tiled density scorer must beat the per-row
 #: query loop by at least this factor.
 MIN_DENSITY_SPEEDUP = 3.0
+
+#: Acceptance floor: the batched causal repair must beat the per-row
+#: repair loop by at least this factor.
+MIN_CAUSAL_SPEEDUP = 3.0
 
 #: Workload definitions.  ``smoke`` finishes in well under a minute and is
 #: what CI runs; ``full`` is for local trajectory tracking.
@@ -86,6 +98,8 @@ PERF_SCALES = {
         "density_reference": 192,
         "density_rows": 96,
         "density_candidates": 16,
+        "causal_rows": 96,
+        "causal_candidates": 16,
         "min_seconds": 1.0,
     },
     "full": {
@@ -103,6 +117,8 @@ PERF_SCALES = {
         "density_reference": 256,
         "density_rows": 192,
         "density_candidates": 16,
+        "causal_rows": 192,
+        "causal_candidates": 16,
         "min_seconds": 1.5,
     },
 }
@@ -336,6 +352,63 @@ def _density_section(explainer, bundle, spec, min_seconds, seed):
     }
 
 
+def _causal_section(bundle, spec, min_seconds, seed):
+    """Time the batched causal repair against the per-row loop.
+
+    The workload is the engine's repair shape: ``causal_rows`` inputs
+    with ``causal_candidates`` perturbed candidates each, repaired by
+    the dataset's :class:`repro.causal.ScmCausalModel` (one
+    abduction-action-prediction pass) — exactly what
+    ``EngineRunner(causal=)`` inserts between immutable projection and
+    the feasibility kernel.  Outputs are asserted bit-identical before
+    timing and the batched path must hold the 3x acceptance floor; the
+    mined-relation model rides along as an informational rate.
+    """
+    from ..causal import MinedCausalModel, ScmCausalModel
+
+    n = spec["causal_rows"]
+    m = spec["causal_candidates"]
+    x = bundle.encoded[:n]
+    rng = np.random.default_rng(seed + 900)
+    candidates = np.clip(
+        x[:, None, :] + rng.normal(0.0, 0.08, (n, m, x.shape[1])), 0.0, 1.0)
+
+    model = ScmCausalModel(bundle.encoder).fit(x)
+    repaired_fast = model.repair_batch(x, candidates)
+    repaired_loop = model._repair_loop(x, candidates)
+    if not np.array_equal(repaired_fast, repaired_loop):
+        raise AssertionError(
+            "batched causal repair diverges from the per-row loop")
+
+    loop_rate, loop_calls = _throughput(
+        lambda: model._repair_loop(x, candidates), n, min_seconds)
+    fast_rate, fast_calls = _throughput(
+        lambda: model.repair_batch(x, candidates), n, min_seconds)
+    speedup = fast_rate / loop_rate
+    if speedup < MIN_CAUSAL_SPEEDUP:
+        raise AssertionError(
+            f"batched causal-repair speedup {speedup:.2f}x is below the "
+            f"{MIN_CAUSAL_SPEEDUP}x floor")
+
+    x_train, y_train = bundle.split("train")
+    mined = MinedCausalModel(bundle.encoder).fit(x_train, y_train)
+    mined_rate, _ = _throughput(
+        lambda: mined.repair_batch(x, candidates), n, min_seconds)
+
+    return {
+        "rows": n,
+        "n_candidates": m,
+        "equations": len(model.equations),
+        "rows_per_sec": round(fast_rate, 1),
+        "rows_per_sec_loop": round(loop_rate, 1),
+        "candidates_per_sec": round(fast_rate * m, 1),
+        "speedup_batched_vs_loop": round(speedup, 2),
+        "mined_rows_per_sec": round(mined_rate, 1),
+        "mined_relations": len(mined.relations),
+        "calls": fast_calls + loop_calls,
+    }
+
+
 def _serve_section(spec, seed):
     """Time cold-start vs warm-start serving on the bench workload.
 
@@ -494,6 +567,7 @@ def run_perfbench(scale="smoke", seed=0):
         "constraint_eval": _constraint_eval_section(
             bundle, spec, min_seconds, seed),
         "density": _density_section(explainer, bundle, spec, min_seconds, seed),
+        "causal": _causal_section(bundle, spec, min_seconds, seed),
         "serve": _serve_section(spec, seed),
     }
     if scale == PRE_PR_BASELINE["scale"]:

@@ -31,6 +31,12 @@ class MethodReport:
     density model (mean feasible-reference k-NN distance for the default
     estimator) — and is None when no density model was hosted, so the
     paper's original seven-column table is unchanged.
+    ``causal_plausibility`` is the causal column — the percentage of
+    rows whose *raw* (pre-repair) selected counterfactual was already
+    consistent with the engine's hosted
+    :class:`repro.causal.CausalModel` (repair distance at most
+    ``CAUSAL_TOLERANCE``) — and is likewise None when no causal model
+    was hosted.
     """
 
     method: str
@@ -42,6 +48,7 @@ class MethodReport:
     sparsity: float
     n_instances: int = 0
     mean_knn_distance: float = None
+    causal_plausibility: float = None
 
     def as_row(self):
         """Cells in the paper's Table IV column order."""
@@ -53,7 +60,7 @@ class MethodReport:
 def evaluate_counterfactuals(method_name, x, x_cf, desired, blackbox, encoder,
                              stats=None, x_train=None, report_kinds=("unary", "binary"),
                              feasibility_report=None, predicted=None,
-                             density_scores=None):
+                             density_scores=None, causal_scores=None):
     """Compute the full metric bundle for one method's counterfactuals.
 
     Parameters
@@ -91,6 +98,12 @@ def evaluate_counterfactuals(method_name, x, x_cf, desired, blackbox, encoder,
         :class:`repro.density.DensityModel` (the engine runner passes
         the scores of the run being evaluated); their mean fills the
         report's ``mean_knn_distance`` column.
+    causal_scores:
+        Optional per-row causal repair distances under a fitted
+        :class:`repro.causal.CausalModel` (the engine runner passes the
+        pre-repair distances of the run being evaluated); the fraction
+        at most ``CAUSAL_TOLERANCE`` fills the report's
+        ``causal_plausibility`` column as a percentage.
     """
     x = np.asarray(x)
     x_cf = np.asarray(x_cf)
@@ -132,4 +145,17 @@ def evaluate_counterfactuals(method_name, x, x_cf, desired, blackbox, encoder,
         mean_knn_distance=(
             None if density_scores is None
             else float(np.mean(density_scores))),
+        causal_plausibility=_causal_plausibility(causal_scores),
     )
+
+
+def _causal_plausibility(causal_scores):
+    """Percentage of rows whose repair distance is within tolerance."""
+    from ..causal import CAUSAL_TOLERANCE
+
+    if causal_scores is None:
+        return None
+    scores = np.asarray(causal_scores, dtype=np.float64)
+    if scores.size == 0:
+        return 0.0
+    return float((scores <= CAUSAL_TOLERANCE).mean() * 100.0)

@@ -21,6 +21,13 @@ the artifact store's persisted density state) and cache-miss rows are
 selected by the Figure 3 proximity+density score through the engine
 runner — the paper's density criterion survives a process restart.
 Cache keys additionally carry the density fingerprint.
+
+And it is causality-aware: pass a fitted
+:class:`repro.causal.CausalModel` (or warm-start one from the store's
+persisted causal state) and every cache-miss batch is causally repaired
+by the engine runner before validity/feasibility — the paper's first
+pillar survives a process restart too.  Cache keys additionally carry
+the causal fingerprint.
 """
 
 from __future__ import annotations
@@ -90,6 +97,11 @@ class ExplanationService:
     density_candidates:
         Candidates per row the core path proposes when ``density`` is
         set (ignored with an explicit ``strategy``).
+    causal:
+        Optional fitted :class:`repro.causal.CausalModel`.  When given,
+        the engine runner hosts it: every cache-miss batch is causally
+        repaired between immutable projection and the feasibility
+        kernel, whichever strategy serves it.
     """
 
     def __init__(
@@ -100,6 +112,7 @@ class ExplanationService:
         density=None,
         density_weight=1.0,
         density_candidates=8,
+        causal=None,
     ):
         self.pipeline = pipeline
         self.explainer = pipeline.explainer
@@ -107,11 +120,14 @@ class ExplanationService:
         self.density = density
         self.density_weight = float(density_weight)
         self.density_candidates = int(density_candidates)
+        self.causal = causal
         self.fingerprint = pipeline.fingerprint
         self._fingerprinted_strategy = strategy
         self._strategy_fingerprint = strategy.fingerprint() if strategy is not None else "core"
         self._fingerprinted_density = density
         self._density_fingerprint = density.fingerprint() if density is not None else "none"
+        self._fingerprinted_causal = causal
+        self._causal_fingerprint = causal.fingerprint() if causal is not None else "none"
         self._runner = None
         self._core_strategy = None
         self.cache = LRUResultCache(cache_size)
@@ -133,6 +149,7 @@ class ExplanationService:
         density=None,
         density_weight=1.0,
         density_candidates=8,
+        causal=None,
     ):
         """Build a service from a stored artifact without any training.
 
@@ -142,13 +159,19 @@ class ExplanationService:
         :class:`repro.density.DensityModel`, or the string ``"store"`` to
         rebuild the estimator persisted with the artifact
         (:meth:`repro.serve.ArtifactStore.load_density`, with the
-        warm-started CF-VAE re-attached for latent estimators).  Raises
-        the store's ``ArtifactError``/``StaleArtifactError`` when the
-        artifact is missing, corrupted or stale.
+        warm-started CF-VAE re-attached for latent estimators).
+        ``causal`` likewise accepts a fitted
+        :class:`repro.causal.CausalModel` or ``"store"``
+        (:meth:`repro.serve.ArtifactStore.load_causal`, with the
+        warm-started encoder re-attached).  Raises the store's
+        ``ArtifactError``/``StaleArtifactError`` when the artifact is
+        missing, corrupted or stale.
         """
         pipeline = store.load(name, expected_fingerprint=expected_fingerprint)
         if density == "store":
             density = store.load_density(name, vae=pipeline.explainer.generator.vae)
+        if causal == "store":
+            causal = store.load_causal(name, encoder=pipeline.encoder)
         return cls(
             pipeline,
             cache_size=cache_size,
@@ -156,38 +179,46 @@ class ExplanationService:
             density=density,
             density_weight=density_weight,
             density_candidates=density_candidates,
+            causal=causal,
         )
 
     @property
     def runner(self):
         """Shared engine runner over the pipeline (built lazily).
 
-        Rebuilt when :attr:`density` or :attr:`density_weight` is
-        re-pointed so the hosted density configuration always matches
-        the one the cache keys are derived from.
+        Rebuilt when :attr:`density`, :attr:`density_weight` or
+        :attr:`causal` is re-pointed so the hosted model configuration
+        always matches the one the cache keys are derived from.
         """
         if (
             self._runner is None
             or self._runner.density is not self.density
             or self._runner.density_weight != self.density_weight
+            or self._runner.causal is not self.causal
         ):
             self._runner = EngineRunner(
                 self.encoder,
                 self.explainer.blackbox,
                 density=self.density,
                 density_weight=self.density_weight,
+                causal=self.causal,
             )
         return self._runner
 
     @property
     def core_strategy(self):
-        """Diverse core sweep used when density is served without a strategy."""
-        if self._core_strategy is None:
+        """Core strategy used when a model is served without a strategy.
+
+        Density-aware serving proposes a diverse latent sweep of
+        ``density_candidates`` so the Figure 3 criterion has candidates
+        to rank; causal-only serving keeps the one-shot deterministic
+        decode (repair needs no diversity).
+        """
+        wanted = self.density_candidates if self.density is not None else 1
+        if self._core_strategy is None or self._core_strategy.n_candidates != wanted:
             from ..engine import CoreCFStrategy
 
-            self._core_strategy = CoreCFStrategy(
-                self.explainer, n_candidates=self.density_candidates
-            )
+            self._core_strategy = CoreCFStrategy(self.explainer, n_candidates=wanted)
         return self._core_strategy
 
     @property
@@ -252,14 +283,38 @@ class ExplanationService:
         return f"{self._density_fingerprint}@w{self.density_weight}"
 
     @property
+    def causal_fingerprint(self):
+        """Fingerprint of the served causal configuration.
+
+        ``"none"`` without a model, else the model fingerprint.  Same
+        identity-based recompute rule as the density fingerprint: to
+        change the causal model, attach a freshly fitted one rather than
+        refitting the hosted instance in place.
+        """
+        if self.causal is not self._fingerprinted_causal:
+            self._fingerprinted_causal = self.causal
+            self._causal_fingerprint = (
+                self.causal.fingerprint() if self.causal is not None else "none"
+            )
+        return self._causal_fingerprint
+
+    @property
+    def _hosts_model(self):
+        """Whether cache-miss rows must route through the engine runner."""
+        return self.strategy is not None or self.density is not None or self.causal is not None
+
+    @property
     def cache_fingerprint(self):
-        """Composite cache-key component: pipeline, strategy and density.
+        """Composite cache-key component: pipeline, strategy, density, causal.
 
         Uses the pipeline fingerprint hashed once at construction —
         recomputing it per lookup would re-serialise the config and
         schema on every cached row.
         """
-        return f"{self.fingerprint}:{self.strategy_fingerprint}:{self.density_fingerprint}"
+        return (
+            f"{self.fingerprint}:{self.strategy_fingerprint}"
+            f":{self.density_fingerprint}:{self.causal_fingerprint}"
+        )
 
     def _key(self, row, desired, fingerprint):
         return (row.tobytes(), int(desired), fingerprint)
@@ -295,8 +350,10 @@ class ExplanationService:
             miss = np.asarray(miss_indices)
             sub_rows = rows[miss]
             sub_desired = desired[miss]
-            if self.strategy is not None or self.density is not None:
-                # density without a strategy serves the diverse core sweep
+            if self._hosts_model:
+                # a hosted model without a strategy serves the core path
+                # through the runner (diverse sweep for density, one-shot
+                # decode for causal-only)
                 sub = self.runner.run(self.strategy or self.core_strategy, sub_rows, sub_desired)
                 sub_cf, sub_predicted = sub.x_cf, sub.predicted
                 sub_feasible = sub.feasible
@@ -373,7 +430,7 @@ class ExplanationService:
             flipped = 1 - self.explainer.blackbox.predict(rows)
             desired = np.where(desired < 0, flipped, desired)
 
-        if self.strategy is not None or self.density is not None:
+        if self._hosts_model:
             result, diagnostics = self.runner.run(
                 self.strategy or self.core_strategy, rows, desired, return_diagnostics=True
             )

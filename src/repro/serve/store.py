@@ -24,6 +24,7 @@ from dataclasses import asdict
 
 import numpy as np
 
+from ..causal import causal_from_state
 from ..core import CFTrainingConfig, FeasibleCFExplainer, paper_config
 from ..data import TabularEncoder, dataset_schema
 from ..density import density_from_state
@@ -48,6 +49,8 @@ _BLACKBOX = "blackbox.npz"
 _CFVAE = "cfvae.npz"
 _DENSITY = "density.npz"
 _DENSITY_META = "density.json"
+_CAUSAL = "causal.npz"
+_CAUSAL_META = "causal.json"
 
 
 class ArtifactError(RuntimeError):
@@ -258,35 +261,100 @@ class ArtifactStore:
             bundle=None,
         )
 
-    # -- density state ------------------------------------------------------
-    def save_density(self, name, model):
-        """Persist a fitted density estimator next to artifact ``name``.
+    # -- model-state overlays (density, causal) -----------------------------
+    def _save_overlay(self, name, model, label, npz_name, meta_name):
+        """Persist a fitted model's flat state next to artifact ``name``.
 
-        Arrays of the estimator's state go into ``density.npz``; scalar
-        state, the estimator fingerprint and the npz checksum go into a
-        ``density.json`` sidecar (written last, like the manifest).  The
-        artifact itself must already exist — density state is an overlay
-        on a trained pipeline, never a standalone artifact.
+        Arrays of the state go into ``<label>.npz``; scalar state, the
+        model fingerprint and the npz checksum go into a ``<label>.json``
+        sidecar (written last, like the manifest).  The artifact itself
+        must already exist — model state is an overlay on a trained
+        pipeline, never a standalone artifact.
         """
         if not self.exists(name):
             raise ArtifactError(
-                f"no artifact {name!r} to attach density state to; save the pipeline first"
+                f"no artifact {name!r} to attach {label} state to; save the pipeline first"
             )
         state = model.get_state()
         arrays = {k: v for k, v in state.items() if isinstance(v, np.ndarray)}
         scalars = {k: v for k, v in state.items() if not isinstance(v, np.ndarray)}
         target = self.artifact_dir(name)
-        np.savez(target / _DENSITY, **arrays)
+        np.savez(target / npz_name, **arrays)
         meta = {
             "format_version": ARTIFACT_FORMAT_VERSION,
             "created_at": time.time(),
             "state": scalars,
             "array_keys": sorted(arrays),
             "fingerprint": model.fingerprint(),
-            "checksum": _file_sha256(target / _DENSITY),
+            "checksum": _file_sha256(target / npz_name),
         }
-        (target / _DENSITY_META).write_text(json.dumps(meta, indent=2) + "\n")
-        return target / _DENSITY_META
+        (target / meta_name).write_text(json.dumps(meta, indent=2) + "\n")
+        return target / meta_name
+
+    def _load_overlay(self, name, label, npz_name, meta_name):
+        """Read an overlay's ``(state, meta)``; shared staleness checks."""
+        target = self.artifact_dir(name)
+        meta_path = target / meta_name
+        if not meta_path.is_file():
+            raise ArtifactError(
+                f"artifact {name!r} has no {label} state (missing {meta_name})"
+            )
+        try:
+            meta = json.loads(meta_path.read_text())
+        except json.JSONDecodeError as error:
+            raise ArtifactError(f"{label} sidecar of {name!r} is corrupted: {error}") from error
+
+        version = meta.get("format_version")
+        if version != ARTIFACT_FORMAT_VERSION:
+            raise StaleArtifactError(
+                f"{label} state of {name!r} has format_version={version}, this "
+                f"code reads version {ARTIFACT_FORMAT_VERSION}; refit and re-save"
+            )
+
+        npz_path = target / npz_name
+        if not npz_path.is_file():
+            raise ArtifactError(f"artifact {name!r} is missing {npz_name}")
+        actual = _file_sha256(npz_path)
+        if actual != meta["checksum"]:
+            raise ArtifactError(
+                f"artifact {name!r}: {npz_name} fails its checksum "
+                f"(expected {meta['checksum'][:12]}..., got {actual[:12]}...); "
+                f"the file is corrupted or was edited after save"
+            )
+
+        state = dict(meta["state"])
+        with np.load(npz_path) as data:
+            for key in meta["array_keys"]:
+                state[key] = data[key]
+        return state, meta
+
+    def _check_overlay_fingerprint(self, name, model, meta, label, expected_fingerprint):
+        """Reject a rebuilt overlay model whose fingerprint drifted."""
+        recomputed = model.fingerprint()
+        if recomputed != meta["fingerprint"]:
+            raise StaleArtifactError(
+                f"{label} state of {name!r} is stale: its fingerprint no "
+                f"longer matches the persisted state "
+                f"(saved {meta['fingerprint'][:12]}..., "
+                f"recomputed {recomputed[:12]}...); refit and re-save"
+            )
+        if expected_fingerprint is not None and expected_fingerprint != recomputed:
+            raise StaleArtifactError(
+                f"{label} state of {name!r} does not match the requested "
+                f"model (stored {recomputed[:12]}..., "
+                f"requested {expected_fingerprint[:12]}...)"
+            )
+        return model
+
+    # -- density state ------------------------------------------------------
+    def save_density(self, name, model):
+        """Persist a fitted density estimator next to artifact ``name``.
+
+        Arrays of the estimator's state go into ``density.npz``; scalar
+        state, the estimator fingerprint and the npz checksum go into a
+        ``density.json`` sidecar (written last, like the manifest).
+        """
+        return self._save_overlay(name, model, "density", _DENSITY, _DENSITY_META)
 
     def has_density(self, name):
         """Whether artifact ``name`` carries persisted density state."""
@@ -302,55 +370,43 @@ class ArtifactStore:
         :class:`ArtifactError` on a missing/corrupt file — the same
         error contract as :meth:`load`.
         """
-        target = self.artifact_dir(name)
-        meta_path = target / _DENSITY_META
-        if not meta_path.is_file():
-            raise ArtifactError(
-                f"artifact {name!r} has no density state (missing {_DENSITY_META})"
-            )
-        try:
-            meta = json.loads(meta_path.read_text())
-        except json.JSONDecodeError as error:
-            raise ArtifactError(f"density sidecar of {name!r} is corrupted: {error}") from error
-
-        version = meta.get("format_version")
-        if version != ARTIFACT_FORMAT_VERSION:
-            raise StaleArtifactError(
-                f"density state of {name!r} has format_version={version}, this "
-                f"code reads version {ARTIFACT_FORMAT_VERSION}; refit and re-save"
-            )
-
-        npz_path = target / _DENSITY
-        if not npz_path.is_file():
-            raise ArtifactError(f"artifact {name!r} is missing {_DENSITY}")
-        actual = _file_sha256(npz_path)
-        if actual != meta["checksum"]:
-            raise ArtifactError(
-                f"artifact {name!r}: {_DENSITY} fails its checksum "
-                f"(expected {meta['checksum'][:12]}..., got {actual[:12]}...); "
-                f"the file is corrupted or was edited after save"
-            )
-
-        state = dict(meta["state"])
-        with np.load(npz_path) as data:
-            for key in meta["array_keys"]:
-                state[key] = data[key]
+        state, meta = self._load_overlay(name, "density", _DENSITY, _DENSITY_META)
         model = density_from_state(state, vae=vae)
-        recomputed = model.fingerprint()
-        if recomputed != meta["fingerprint"]:
-            raise StaleArtifactError(
-                f"density state of {name!r} is stale: its fingerprint no "
-                f"longer matches the persisted state "
-                f"(saved {meta['fingerprint'][:12]}..., "
-                f"recomputed {recomputed[:12]}...); refit and re-save"
-            )
-        if expected_fingerprint is not None and expected_fingerprint != recomputed:
-            raise StaleArtifactError(
-                f"density state of {name!r} does not match the requested "
-                f"estimator (stored {recomputed[:12]}..., "
-                f"requested {expected_fingerprint[:12]}...)"
-            )
-        return model
+        return self._check_overlay_fingerprint(name, model, meta, "density", expected_fingerprint)
+
+    # -- causal state -------------------------------------------------------
+    def save_causal(self, name, model):
+        """Persist a fitted causal model next to artifact ``name``.
+
+        Same overlay layout as :meth:`save_density`: arrays in
+        ``causal.npz``, scalars + fingerprint + checksum in a
+        ``causal.json`` sidecar written last.
+        """
+        return self._save_overlay(name, model, "causal", _CAUSAL, _CAUSAL_META)
+
+    def has_causal(self, name):
+        """Whether artifact ``name`` carries persisted causal state."""
+        return (self.artifact_dir(name) / _CAUSAL_META).is_file()
+
+    def load_causal(self, name, encoder=None, expected_fingerprint=None):
+        """Rebuild the fitted causal model stored with ``name``.
+
+        ``encoder`` re-attaches the fitted encoder the model reads its
+        feature layout from; when ``None`` it is rebuilt from the
+        artifact's own manifest, so a causal overlay is loadable without
+        first loading the full pipeline.  Error contract matches
+        :meth:`load_density` — :class:`StaleArtifactError` on version or
+        fingerprint drift (including an encoder whose fitted ranges no
+        longer match the persisted equation ranges),
+        :class:`ArtifactError` on missing/corrupt files.
+        """
+        state, meta = self._load_overlay(name, "causal", _CAUSAL, _CAUSAL_META)
+        if encoder is None:
+            manifest = self.manifest(name)
+            schema = dataset_schema(manifest["dataset"])
+            encoder = TabularEncoder.from_state(schema, manifest["encoder"])
+        model = causal_from_state(state, encoder)
+        return self._check_overlay_fingerprint(name, model, meta, "causal", expected_fingerprint)
 
     # -- train-or-load ------------------------------------------------------
     def ensure(

@@ -10,8 +10,8 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = ["SchemaMismatchError", "check_2d", "check_2d_fast",
-           "check_binary_labels", "check_encoded_rows", "check_probability",
-           "check_positive", "check_schema_width"]
+           "check_binary_labels", "check_encoded_rows", "check_encoded_sweep",
+           "check_probability", "check_positive", "check_schema_width"]
 
 
 class SchemaMismatchError(ValueError):
@@ -39,18 +39,82 @@ def check_schema_width(array, n_expected, name="x", context=None):
     return array
 
 
+def _coerce_schema_array(array, encoder, name):
+    """Coerce a request to float64, mapping dtype failures to schema errors.
+
+    The shared first step of :func:`check_encoded_rows` and
+    :func:`check_encoded_sweep`: a non-numeric payload that numpy cannot
+    convert is a schema-contract violation, not an internal error.
+    """
+    try:
+        return np.asarray(array, dtype=np.float64)
+    except (TypeError, ValueError) as error:
+        raise SchemaMismatchError(
+            f"{name} does not match the encoded schema of dataset "
+            f"{encoder.schema.name!r}: {error}") from error
+
+
+def _require_finite(array, name):
+    """Reject NaN/inf cells as a schema-contract violation."""
+    if not np.isfinite(array).all():
+        raise SchemaMismatchError(f"{name} contains NaN or infinite values")
+    return array
+
+
 def check_encoded_rows(array, encoder, name="x"):
     """Full request validation against a fitted encoder's schema.
 
     The shared entry check of every explain/serve surface: 2-D + finite
-    (:func:`check_2d`) and the column count of ``encoder``
-    (:func:`check_schema_width`, with the dataset named in the error).
-    Returns the validated float matrix.
+    and the column count of ``encoder`` (:func:`check_schema_width`,
+    with the dataset named in the error).  Returns the validated float
+    matrix.
+
+    Any content failure — a non-numeric dtype that cannot be coerced, or
+    NaN/inf cells — is reported as a :class:`SchemaMismatchError` (a
+    ``ValueError`` subclass), so callers fuzzing the serving surfaces see
+    one schema-contract error type instead of raw numpy messages.  A
+    wrong number of axes stays a plain ``ValueError`` (that is an
+    API-shape mistake, not schema drift) — the same contract as
+    :func:`check_encoded_sweep`.
     """
-    array = check_2d(array, name)
+    array = _coerce_schema_array(array, encoder, name)
+    if array.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got shape {array.shape}")
+    if array.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    _require_finite(array, name)
     return check_schema_width(
         array, encoder.n_encoded, name,
         context=f"dataset {encoder.schema.name!r}")
+
+
+def check_encoded_sweep(candidates, encoder, n_rows=None, name="candidates"):
+    """Validate a ``(n_rows, m, d)`` candidate sweep against a schema.
+
+    The 3-D counterpart of :func:`check_encoded_rows`, used by the
+    causal layer's ``repair_batch`` (and anything else consuming full
+    candidate tensors): float-coercible, finite, 3-D, ``d`` matching the
+    encoder width and — when ``n_rows`` is given — the first axis
+    matching the input batch.  Content failures raise
+    :class:`SchemaMismatchError`; a wrong number of axes stays a plain
+    ``ValueError`` (that is an API-shape mistake, not schema drift).
+    """
+    candidates = _coerce_schema_array(candidates, encoder, name)
+    if candidates.ndim != 3:
+        raise ValueError(
+            f"{name} must be a (n_rows, n_candidates, d) tensor, "
+            f"got shape {candidates.shape}")
+    if candidates.shape[2] != encoder.n_encoded:
+        raise SchemaMismatchError(
+            f"{name} has {candidates.shape[2]} encoded columns but the "
+            f"schema trained on dataset {encoder.schema.name!r} expects "
+            f"{encoder.n_encoded} encoded columns; encode rows with the "
+            f"same TabularEncoder the model was trained with")
+    if n_rows is not None and candidates.shape[0] != int(n_rows):
+        raise ValueError(
+            f"{name} holds candidates for {candidates.shape[0]} rows but "
+            f"x has {n_rows} rows")
+    return _require_finite(candidates, name)
 
 
 def check_2d(array, name="array"):

@@ -1,0 +1,103 @@
+"""Parity: batched ``repair_batch`` vs the per-row ``_repair_loop``.
+
+The acceptance bar of the causal layer: on every registry dataset, for
+both models, across noise scales and sweep widths, the one-pass batched
+repair must be *bit-identical* to the per-row loop reference.  Built on
+the shared ``tests.helpers.parity`` harness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.causal import MinedCausalModel, ScmCausalModel
+from tests.helpers.parity import (
+    assert_batched_matches_loop,
+    assert_bit_identical,
+    candidate_sweep,
+    registry_bundle_fixture,
+)
+
+bundle = registry_bundle_fixture(n_instances=900, seed=1)
+
+#: Explicit relations per dataset so the mined model is deterministic
+#: here (mining itself is covered in test_causal_models.py).
+MINED_RELATIONS = {
+    "adult": [("education", "age", 0.02), ("occupation", "hours_per_week", 0.05)],
+    "kdd_census": [("education", "age", 0.02), ("education", "wage_per_hour", 0.04)],
+    "law_school": [("tier", "lsat", 0.05), ("zfygpa", "zgpa", 0.08)],
+}
+
+
+def models_for(bundle):
+    scm = ScmCausalModel(bundle.encoder)
+    mined = MinedCausalModel(
+        bundle.encoder, relations=MINED_RELATIONS[bundle.name])
+    return {"scm": scm, "mined": mined}
+
+
+class TestRepairParity:
+    @pytest.mark.parametrize("kind", ["scm", "mined"])
+    def test_across_noise_scales(self, bundle, kind):
+        model = models_for(bundle)[kind]
+        x = bundle.encoded[:40]
+        for trial, scale in enumerate((0.0, 1e-7, 1e-3, 0.05, 0.3)):
+            rng = np.random.default_rng(100 + trial)
+            sweep = candidate_sweep(x, rng, scale, m=4)
+            assert_batched_matches_loop(
+                model.repair_batch, model._repair_loop, x, sweep,
+                context=f"{kind} repair at noise {scale}")
+
+    @pytest.mark.parametrize("kind", ["scm", "mined"])
+    def test_across_sweep_widths(self, bundle, kind):
+        model = models_for(bundle)[kind]
+        x = bundle.encoded[:16]
+        for m in (1, 2, 5, 16):
+            sweep = candidate_sweep(x, np.random.default_rng(m), 0.05, m=m)
+            assert_batched_matches_loop(
+                model.repair_batch, model._repair_loop, x, sweep,
+                context=f"{kind} repair at m={m}")
+
+    @pytest.mark.parametrize("kind", ["scm", "mined"])
+    def test_single_row(self, bundle, kind):
+        model = models_for(bundle)[kind]
+        x = bundle.encoded[:1]
+        sweep = candidate_sweep(x, np.random.default_rng(11), 0.05, m=3)
+        assert_batched_matches_loop(
+            model.repair_batch, model._repair_loop, x, sweep,
+            context=f"{kind} repair on one row")
+
+    @pytest.mark.parametrize("kind", ["scm", "mined"])
+    def test_identity_candidates_pass_through_unchanged(self, bundle, kind):
+        # x is real data, hence causally consistent: repairing an exact
+        # copy of the input must return its exact bits (score 0)
+        model = models_for(bundle)[kind]
+        x = bundle.encoded[:30]
+        sweep = np.repeat(x[:, None, :], 3, axis=1)
+        repaired, _ = assert_batched_matches_loop(
+            model.repair_batch, model._repair_loop, x, sweep,
+            context=f"{kind} identity repair")
+        assert_bit_identical(repaired, sweep, context=f"{kind} identity output")
+        np.testing.assert_array_equal(model.score(x, x), np.zeros(len(x)))
+
+    @pytest.mark.parametrize("kind", ["scm", "mined"])
+    def test_unvalidated_path_matches_validated(self, bundle, kind):
+        # the engine runner's validate=False fast path must produce the
+        # exact bits of the public validated entry
+        model = models_for(bundle)[kind]
+        x = bundle.encoded[:20]
+        sweep = candidate_sweep(x, np.random.default_rng(9), 0.1, m=4)
+        assert_bit_identical(
+            model.repair_batch(x, sweep, validate=False),
+            model.repair_batch(x, sweep),
+            context=f"{kind} validate=False parity")
+
+    def test_scm_repair_is_idempotent(self, bundle):
+        # a repaired sweep is already causally consistent: repairing it
+        # again must be the identity (the SCM equations are acyclic)
+        model = ScmCausalModel(bundle.encoder)
+        x = bundle.encoded[:25]
+        sweep = candidate_sweep(x, np.random.default_rng(3), 0.1, m=4)
+        repaired = model.repair_batch(x, sweep)
+        assert_bit_identical(
+            model.repair_batch(x, repaired), repaired,
+            context="scm idempotence")

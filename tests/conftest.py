@@ -1,0 +1,14 @@
+"""Root test configuration: make ``tests.helpers`` importable.
+
+The suite runs with ``--import-mode=importlib`` and no ``__init__.py``
+files; shared helper modules under ``tests/helpers/`` resolve as
+namespace packages, which requires the repository root on ``sys.path``
+regardless of how pytest was invoked.
+"""
+
+import pathlib
+import sys
+
+_REPO_ROOT = str(pathlib.Path(__file__).resolve().parent.parent)
+if _REPO_ROOT not in sys.path:
+    sys.path.insert(0, _REPO_ROOT)

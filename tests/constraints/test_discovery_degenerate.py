@@ -1,0 +1,119 @@
+"""ConstraintMiner on degenerate inputs: constant columns, too few
+levels, missing values and tiny frames must never crash (or warn)."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.constraints import ConstraintMiner
+from repro.data import (
+    DatasetSchema,
+    FeatureSpec,
+    FeatureType,
+    TabularEncoder,
+    TabularFrame,
+)
+
+
+def build_miner(columns, features):
+    frame = TabularFrame(columns)
+    schema = DatasetSchema(name="toy", features=tuple(features), target="y")
+    # encoder fitting on an all-missing column legitimately warns
+    # (np.nanmin of an empty slice); only the *mining* must stay silent
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        encoder = TabularEncoder(schema).fit(frame)
+    return ConstraintMiner(encoder), frame
+
+
+def continuous(name):
+    return FeatureSpec(name, FeatureType.CONTINUOUS, bounds=(0.0, 10.0))
+
+
+def categorical(name, k):
+    labels = tuple(f"{name}_{i}" for i in range(k))
+    return FeatureSpec(name, FeatureType.CATEGORICAL, categories=labels)
+
+
+@pytest.fixture(autouse=True)
+def no_warnings():
+    # degenerate data must be *silently* skipped, not spam
+    # ConstantInputWarning / RuntimeWarning per candidate pair
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        yield
+
+
+class TestDegenerateInputs:
+    def test_constant_continuous_cause_yields_nothing(self):
+        rng = np.random.default_rng(0)
+        miner, frame = build_miner(
+            {"a": np.full(400, 3.0), "b": rng.uniform(0, 10, 400)},
+            [continuous("a"), continuous("b")])
+        assert miner.mine(frame) == []
+
+    def test_constant_effect_yields_nothing(self):
+        rng = np.random.default_rng(1)
+        miner, frame = build_miner(
+            {"a": rng.uniform(0, 10, 400), "b": np.full(400, 5.0)},
+            [continuous("a"), continuous("b")])
+        assert miner.mine(frame) == []
+
+    def test_categorical_cause_below_min_levels_is_skipped(self):
+        rng = np.random.default_rng(2)
+        labels = np.array(["c_0", "c_1"], dtype=object)
+        miner, frame = build_miner(
+            {"c": labels[rng.integers(0, 2, 400)],
+             "b": rng.uniform(0, 10, 400)},
+            [categorical("c", 2), continuous("b")])
+        assert miner.mine(frame) == []
+
+    def test_all_missing_effect_yields_nothing(self):
+        rng = np.random.default_rng(3)
+        miner, frame = build_miner(
+            {"a": rng.uniform(0, 10, 400), "b": np.full(400, np.nan)},
+            [continuous("a"), continuous("b")])
+        assert miner.mine(frame) == []
+
+    def test_partially_missing_effect_mines_on_observed_rows(self):
+        rng = np.random.default_rng(4)
+        a = rng.uniform(0, 10, 2000)
+        b = a + rng.uniform(0, 1, 2000)  # hard floor: b >= a
+        b[rng.choice(2000, 200, replace=False)] = np.nan
+        miner, frame = build_miner(
+            {"a": a, "b": b}, [continuous("a"), continuous("b")])
+        relations = miner.mine(frame)
+        assert ("a", "b") in {(r.cause, r.effect) for r in relations}
+
+    def test_missing_categorical_cause_labels_are_skipped(self):
+        rng = np.random.default_rng(5)
+        labels = np.array(["c_0", "c_1", "c_2", "c_3"], dtype=object)
+        cause = labels[rng.integers(0, 4, 400)]
+        cause[rng.choice(400, 40, replace=False)] = None
+        miner, frame = build_miner(
+            {"c": cause, "b": rng.uniform(0, 10, 400)},
+            [categorical("c", 4), continuous("b")])
+        miner.mine(frame)  # must not crash on the unknown label
+
+    def test_tiny_frame_yields_nothing(self):
+        rng = np.random.default_rng(6)
+        miner, frame = build_miner(
+            {"a": rng.uniform(0, 10, 8), "b": rng.uniform(0, 10, 8)},
+            [continuous("a"), continuous("b")])
+        assert miner.mine(frame) == []
+
+    def test_single_row_frame_yields_nothing(self):
+        miner, frame = build_miner(
+            {"a": np.array([1.0]), "b": np.array([2.0])},
+            [continuous("a"), continuous("b")])
+        assert miner.mine(frame) == []
+
+    def test_near_constant_cause_with_one_outlier(self):
+        rng = np.random.default_rng(7)
+        a = np.full(400, 2.0)
+        a[0] = 9.0
+        miner, frame = build_miner(
+            {"a": a, "b": rng.uniform(0, 10, 400)},
+            [continuous("a"), continuous("b")])
+        assert miner.mine(frame) == []

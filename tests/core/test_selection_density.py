@@ -1,12 +1,12 @@
 """Density-layer selection tests: parity, single score pass, fit contract."""
 
-import numpy as np
 import pytest
 
 from repro.core import DensityCFSelector, FeasibleCFExplainer, fast_config
-from repro.data import dataset_names, load_dataset
+from repro.data import load_dataset
 from repro.density import GaussianKdeDensity, KnnDensity
 from repro.utils.validation import SchemaMismatchError
+from tests.helpers.parity import DATASETS, assert_batched_matches_loop
 
 
 def _fit_explainer(dataset, seed=0):
@@ -21,7 +21,7 @@ def _fit_explainer(dataset, seed=0):
     return explainer, x_train, rows
 
 
-@pytest.fixture(scope="module", params=sorted(dataset_names()))
+@pytest.fixture(scope="module", params=DATASETS)
 def fitted(request):
     return _fit_explainer(request.param)
 
@@ -33,10 +33,9 @@ class TestBatchLoopParity:
         explainer, x_train, rows = fitted
         selector = DensityCFSelector(explainer, density_weight=2.0, k_neighbors=6)
         selector.fit_reference(x_train[:150])
-        x_cf_batch, diag_batch = selector.explain(rows, n_candidates=7)
-        x_cf_loop, diag_loop = selector._explain_loop(rows, n_candidates=7)
-        np.testing.assert_array_equal(x_cf_batch, x_cf_loop)
-        assert diag_batch == diag_loop
+        assert_batched_matches_loop(
+            selector.explain, selector._explain_loop, rows, n_candidates=7,
+            context="density explain")
 
     def test_kde_estimator_selects_equivalently(self, fitted):
         # the kde backend is matmul-based, so scores match within float
@@ -46,13 +45,9 @@ class TestBatchLoopParity:
         selector = DensityCFSelector(
             explainer, k_neighbors=6, density_model=GaussianKdeDensity())
         selector.fit_reference(x_train[:150])
-        x_cf_batch, diag_batch = selector.explain(rows[:6], n_candidates=5)
-        x_cf_loop, diag_loop = selector._explain_loop(rows[:6], n_candidates=5)
-        np.testing.assert_allclose(x_cf_batch, x_cf_loop, atol=1e-9)
-        for batch_entry, loop_entry in zip(diag_batch, diag_loop):
-            assert batch_entry["n_usable"] == loop_entry["n_usable"]
-            assert batch_entry["n_valid"] == loop_entry["n_valid"]
-            assert batch_entry["score"] == pytest.approx(loop_entry["score"], abs=1e-6)
+        assert_batched_matches_loop(
+            selector.explain, selector._explain_loop, rows[:6], n_candidates=5,
+            atol=1e-6, context="kde density explain")
 
 
 class _CountingKnn(KnnDensity):

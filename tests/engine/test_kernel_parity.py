@@ -3,7 +3,8 @@
 The compiled kernel must reproduce the per-constraint loop
 (``ConstraintSet.satisfied_matrix`` / ``satisfied``) bit for bit — on
 every registry dataset, across noise scales, under tiling, at exact
-tolerance boundaries and on degenerate batches.
+tolerance boundaries and on degenerate batches.  Built on the shared
+``tests.helpers.parity`` harness.
 """
 
 import numpy as np
@@ -11,14 +12,14 @@ import pytest
 
 from repro.constraints import ConstraintSet, ImmutablesRespected, build_constraints
 from repro.constraints.base import Constraint
-from repro.data import dataset_names, load_dataset
+from repro.data import load_dataset
+from tests.helpers.parity import (
+    assert_bit_identical,
+    perturbed,
+    registry_bundle_fixture,
+)
 
-DATASETS = tuple(dataset_names())
-
-
-@pytest.fixture(scope="module", params=DATASETS)
-def bundle(request):
-    return load_dataset(request.param, n_instances=900, seed=1)
+bundle = registry_bundle_fixture(n_instances=900, seed=1)
 
 
 def union_set(encoder):
@@ -28,23 +29,21 @@ def union_set(encoder):
     return ConstraintSet(members)
 
 
-def perturbed(x, rng, scale, m=1):
-    noise = rng.normal(0.0, scale, size=(len(x) * m, x.shape[1]))
-    return np.clip(np.repeat(x, m, axis=0) + noise, 0.0, 1.0)
-
-
 def assert_parity(constraints, kernel, x, x_cf, m=1):
     inputs = x if m == 1 else np.repeat(x, m, axis=0)
-    mask_loop = constraints.satisfied_matrix(inputs, x_cf)
-    mask_fast = kernel.satisfied_matrix(x, x_cf)
-    np.testing.assert_array_equal(mask_fast, mask_loop)
-    np.testing.assert_array_equal(
-        kernel.satisfied(x, x_cf), constraints.satisfied(inputs, x_cf))
+    assert_bit_identical(
+        kernel.satisfied_matrix(x, x_cf),
+        constraints.satisfied_matrix(inputs, x_cf),
+        context="satisfied_matrix")
+    assert_bit_identical(
+        kernel.satisfied(x, x_cf), constraints.satisfied(inputs, x_cf),
+        context="satisfied")
     report = kernel.evaluate(x, x_cf)
     assert report.rate == constraints.satisfaction_rate(inputs, x_cf)
-    for constraint in constraints:
-        assert report.per_constraint_rates[constraint.name] == \
-            constraint.satisfaction_rate(inputs, x_cf)
+    assert_bit_identical(
+        report.per_constraint_rates,
+        {c.name: c.satisfaction_rate(inputs, x_cf) for c in constraints},
+        context="per_constraint_rates")
 
 
 class TestDatasetParity:

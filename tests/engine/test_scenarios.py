@@ -19,29 +19,42 @@ from repro.experiments.runconfig import ExperimentScale
 
 class TestRegistry:
     def test_builtin_grid_is_complete(self):
+        from repro.causal import CAUSAL_NAMES
         from repro.engine.scenarios import density_variants_for
 
         names = scenario_names()
         per_dataset = sum(
-            1 + len(density_variants_for(strategy)) for strategy in STRATEGY_NAMES)
+            1 + len(density_variants_for(strategy)) + len(CAUSAL_NAMES)
+            for strategy in STRATEGY_NAMES)
         assert len(names) == len(dataset_names()) * per_dataset
         for dataset in dataset_names():
             for strategy in STRATEGY_NAMES:
                 assert f"{dataset}/{strategy}" in names
                 for density in density_variants_for(strategy):
                     assert f"{dataset}/{strategy}+{density}" in names
+                for causal in CAUSAL_NAMES:
+                    assert f"{dataset}/{strategy}+{causal}" in names
 
-    def test_grid_is_larger_than_the_pre_density_27(self):
-        assert len(scenario_names()) > 27
+    def test_grid_holds_the_causal_acceptance_floor(self):
+        # the issue's acceptance bar: >= 140 entries with +scm variants
+        # for every dataset x strategy
+        names = scenario_names()
+        assert len(names) >= 140
+        for dataset in dataset_names():
+            for strategy in STRATEGY_NAMES:
+                assert f"{dataset}/{strategy}+scm" in names
 
     def test_filters(self):
-        adult = list(iter_scenarios(dataset="adult", density=None))
+        adult = list(iter_scenarios(dataset="adult", density=None, causal=None))
         assert len(adult) == len(STRATEGY_NAMES)
-        face = list(iter_scenarios(strategy="face", density=None))
+        face = list(iter_scenarios(strategy="face", density=None, causal=None))
         assert {s.dataset for s in face} == set(dataset_names())
         knn = list(iter_scenarios(dataset="adult", density="knn"))
         assert len(knn) == len(STRATEGY_NAMES)
         assert all(s.density == "knn" for s in knn)
+        scm = list(iter_scenarios(dataset="adult", causal="scm"))
+        assert len(scm) == len(STRATEGY_NAMES)
+        assert all(s.causal == "scm" for s in scm)
 
     def test_get_unknown_raises(self):
         with pytest.raises(KeyError, match="unknown scenario"):

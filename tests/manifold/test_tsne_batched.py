@@ -1,4 +1,8 @@
-"""Parity of the batched perplexity search against the scalar loop."""
+"""Parity of the batched perplexity search against the scalar loop.
+
+Built on the shared ``tests.helpers.parity`` harness (no dataset
+dependence — the search operates on arbitrary distance matrices).
+"""
 
 import numpy as np
 import pytest
@@ -9,15 +13,19 @@ from repro.manifold.tsne import (
     _binary_search_perplexity_loop,
     _pairwise_sq_distances,
 )
+from tests.helpers.parity import assert_batched_matches_loop
+
+
+def assert_search_parity(distances, perplexity):
+    assert_batched_matches_loop(
+        _binary_search_perplexity, _binary_search_perplexity_loop,
+        distances, perplexity, context="perplexity search")
 
 
 @pytest.mark.parametrize("n,perplexity", [(12, 4.0), (40, 12.0), (90, 30.0)])
 def test_batched_search_bit_identical_to_loop(n, perplexity):
     rng = np.random.default_rng(n)
-    distances = _pairwise_sq_distances(rng.normal(size=(n, 5)))
-    batched = _binary_search_perplexity(distances, perplexity)
-    scalar = _binary_search_perplexity_loop(distances, perplexity)
-    np.testing.assert_array_equal(batched, scalar)
+    assert_search_parity(_pairwise_sq_distances(rng.normal(size=(n, 5))), perplexity)
 
 
 def test_duplicate_points_hit_the_uniform_fallback_identically():
@@ -25,10 +33,7 @@ def test_duplicate_points_hit_the_uniform_fallback_identically():
     # fallback; both paths must take it the same way
     x = np.zeros((12, 3))
     x[6:] = 5.0
-    distances = _pairwise_sq_distances(x)
-    np.testing.assert_array_equal(
-        _binary_search_perplexity(distances, 3.0),
-        _binary_search_perplexity_loop(distances, 3.0))
+    assert_search_parity(_pairwise_sq_distances(x), 3.0)
 
 
 def test_rows_follow_the_scalar_convergence_schedule():
@@ -36,10 +41,7 @@ def test_rows_follow_the_scalar_convergence_schedule():
     # counts, exercising the active-set bookkeeping
     rng = np.random.default_rng(7)
     x = np.vstack([rng.normal(size=(20, 4)), rng.normal(size=(20, 4)) * 50.0])
-    distances = _pairwise_sq_distances(x)
-    np.testing.assert_array_equal(
-        _binary_search_perplexity(distances, 10.0),
-        _binary_search_perplexity_loop(distances, 10.0))
+    assert_search_parity(_pairwise_sq_distances(x), 10.0)
 
 
 def test_full_embedding_unchanged_by_the_batched_search():

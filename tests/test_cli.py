@@ -5,6 +5,24 @@ import pytest
 from repro.cli import build_parser, main
 
 
+def table_lines(out, title):
+    """The rendered table block that starts at ``title``."""
+    lines = out.splitlines()
+    for index, line in enumerate(lines):
+        if line.startswith(title):
+            block = []
+            for row in lines[index:]:
+                if not row.strip():
+                    break
+                block.append(row)
+            return block
+    raise AssertionError(f"no table titled {title!r} in output:\n{out}")
+
+
+def table_cells(line):
+    return [cell.strip() for cell in line.split("|")]
+
+
 class TestParser:
     def test_commands_accepted(self):
         parser = build_parser()
@@ -123,3 +141,126 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "adult/face+knn" in out
         assert "adult/face+kde" in out
+
+
+class TestParserModelFlags:
+    def test_causal_default_and_choices(self):
+        args = build_parser().parse_args(["run-scenario"])
+        assert args.causal is None
+        for choice in ("scm", "mined"):
+            parsed = build_parser().parse_args(["run-scenario", "--causal", choice])
+            assert parsed.causal == choice
+
+    def test_rejects_unknown_causal_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run-scenario", "--causal", "tarot"])
+
+    def test_rejects_unknown_density_estimator(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run-scenario", "--density", "voronoi"])
+
+
+class TestListScenariosLayout:
+    def metric_rows(self, capsys, argv):
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        block = table_lines(out, "Scenario registry")
+        return out, block
+
+    def test_column_layout(self, capsys):
+        out, block = self.metric_rows(capsys, ["list-scenarios", "--strategy", "face"])
+        header = table_cells(block[1])
+        assert header == ["scenario", "dataset", "strategy", "kind",
+                          "desired", "density", "causal"]
+        # every data row has exactly one cell per column
+        for row in block[3:]:
+            assert len(table_cells(row)) == len(header)
+
+    def test_variant_rows_fill_the_right_column(self, capsys):
+        out, block = self.metric_rows(capsys, ["list-scenarios", "--strategy", "face"])
+        rows = {table_cells(row)[0]: table_cells(row) for row in block[3:]}
+        assert rows["adult/face"][5:] == ["-", "-"]
+        assert rows["adult/face+knn"][5:] == ["knn", "-"]
+        assert rows["adult/face+scm"][5:] == ["-", "scm"]
+        assert rows["adult/face+mined"][5:] == ["-", "mined"]
+
+    def test_title_counts_the_rows(self, capsys):
+        out, block = self.metric_rows(capsys, ["list-scenarios", "--strategy", "face"])
+        n_rows = len(block) - 3  # title, header, separator
+        assert block[0] == f"Scenario registry ({n_rows} entries)"
+
+    def test_unfiltered_registry_is_at_least_140(self, capsys):
+        out, block = self.metric_rows(capsys, ["list-scenarios"])
+        assert len(block) - 3 >= 140
+
+
+class TestRunScenarioOutput:
+    def scenario_metrics(self, capsys, argv, title):
+        assert main(argv) == 0
+        block = table_lines(capsys.readouterr().out, title)
+        return {table_cells(row)[0]: table_cells(row)[1] for row in block[3:]}
+
+    def test_causal_variant_reports_plausibility(self, capsys, tmp_path):
+        metrics = self.scenario_metrics(
+            capsys,
+            ["run-scenario", "--scenario", "adult/dice_random",
+             "--causal", "scm", "--scale", "smoke", "--out", str(tmp_path)],
+            "SCENARIO adult/dice_random+scm (scale smoke)")
+        assert 0.0 <= float(metrics["causal plausibility (%)"]) <= 100.0
+        assert metrics["density (mean kNN dist)"] == "-"
+        assert float(metrics["validity"]) > 0
+        assert (tmp_path / "scenario_adult_dice_random+scm.txt").exists()
+
+    def test_density_variant_reports_density_not_causal(self, capsys):
+        metrics = self.scenario_metrics(
+            capsys,
+            ["run-scenario", "--scenario", "adult/dice_random",
+             "--density", "knn", "--scale", "smoke"],
+            "SCENARIO adult/dice_random+knn (scale smoke)")
+        assert float(metrics["density (mean kNN dist)"]) >= 0.0
+        assert metrics["causal plausibility (%)"] == "-"
+
+    def test_unknown_scenario_names_the_registry(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            main(["run-scenario", "--scenario", "adult/gandalf"])
+
+
+class TestServeDemoRoundTripFlags:
+    def test_causal_flag_persists_and_serves_from_store(self, capsys, tmp_path):
+        store_dir = tmp_path / "store"
+        code = main(["serve-demo", "--scale", "smoke", "--rows", "16",
+                     "--artifact-dir", str(store_dir), "--causal", "scm"])
+        assert code == 0
+        out = capsys.readouterr().out
+        block = table_lines(out, "SERVE DEMO (adult")
+        stages = [table_cells(row)[0] for row in block[3:]]
+        assert stages == ["ensure artifact", "fit + persist causal",
+                          "warm-start batch", "cached batch"]
+        details = {table_cells(row)[0]: table_cells(row)[2] for row in block[3:]}
+        assert details["fit + persist causal"] == "scm, served from store state"
+        assert "strategy core generator + scm causal" in block[0]
+        assert (store_dir / "adult-unary-seed0" / "causal.json").exists()
+        assert (store_dir / "adult-unary-seed0" / "causal.npz").exists()
+
+        # second run warm-starts from the persisted artifact (no retrain)
+        code = main(["serve-demo", "--scale", "smoke", "--rows", "16",
+                     "--artifact-dir", str(store_dir), "--causal", "scm"])
+        assert code == 0
+        rerun = table_lines(capsys.readouterr().out, "SERVE DEMO (adult")
+        assert table_cells(rerun[3])[2] == "cache hit"
+
+    def test_density_and_causal_flags_compose(self, capsys, tmp_path):
+        store_dir = tmp_path / "store"
+        code = main(["serve-demo", "--scale", "smoke", "--rows", "8",
+                     "--artifact-dir", str(store_dir),
+                     "--density", "knn", "--causal", "mined"])
+        assert code == 0
+        block = table_lines(capsys.readouterr().out, "SERVE DEMO (adult")
+        stages = [table_cells(row)[0] for row in block[3:]]
+        assert stages == ["ensure artifact", "fit + persist density",
+                          "fit + persist causal", "warm-start batch",
+                          "cached batch"]
+        assert "knn density + mined causal" in block[0]
+        artifact = store_dir / "adult-unary-seed0"
+        assert (artifact / "density.json").exists()
+        assert (artifact / "causal.json").exists()

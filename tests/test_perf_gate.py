@@ -20,7 +20,8 @@ def gate():
 
 
 def _results(train=100.0, predict=1000.0, candidates=500.0,
-             constraint_eval=2000.0, scenarios=50.0, density=300.0):
+             constraint_eval=2000.0, scenarios=50.0, density=300.0,
+             causal=700.0):
     return {
         "train": {"rows_per_sec": train},
         "predict": {"rows_per_sec": predict},
@@ -28,6 +29,7 @@ def _results(train=100.0, predict=1000.0, candidates=500.0,
         "constraint_eval": {"rows_per_sec": constraint_eval},
         "scenario_matrix": {"min_rows_per_sec": scenarios},
         "density": {"rows_per_sec": density},
+        "causal": {"rows_per_sec": causal},
     }
 
 
@@ -35,12 +37,17 @@ class TestCompare:
     def test_no_regression_passes(self, gate):
         rows, failures = gate.compare(_results(), _results(predict=990.0))
         assert failures == []
-        assert len(rows) == 6
+        assert len(rows) == 7
 
     def test_density_is_gated(self, gate):
         _, failures = gate.compare(_results(), _results(density=10.0))
         assert len(failures) == 1
         assert "density" in failures[0]
+
+    def test_causal_is_gated(self, gate):
+        _, failures = gate.compare(_results(), _results(causal=10.0))
+        assert len(failures) == 1
+        assert "causal" in failures[0]
 
     def test_constraint_eval_is_gated(self, gate):
         _, failures = gate.compare(_results(), _results(constraint_eval=100.0))
@@ -58,11 +65,12 @@ class TestCompare:
         del old["constraint_eval"]
         del old["scenario_matrix"]
         del old["density"]
+        del old["causal"]
         rows, failures = gate.compare(old, _results())
         assert failures == []
         skipped = [r for r in rows if r[2] != r[2]]  # NaN baseline
         assert {r[0] for r in skipped} == {
-            "constraint_eval", "scenario_matrix", "density"}
+            "constraint_eval", "scenario_matrix", "density", "causal"}
         markdown = gate.render_markdown(rows, 0.30)
         assert "no baseline" in markdown
 
