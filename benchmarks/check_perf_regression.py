@@ -35,6 +35,7 @@ GATED_METRICS = {
     "constraint_eval": "rows_per_sec",
     "density": "rows_per_sec",
     "causal": "rows_per_sec",
+    "robust": "rows_per_sec",
 }
 
 #: Reported in the table but never failing: training throughput and the

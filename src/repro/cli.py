@@ -69,6 +69,13 @@ def build_parser():
                              "feasibility); serve-demo fits it, persists it "
                              "to the artifact store and serves causally "
                              "repaired from the warm start")
+    parser.add_argument("--ensemble", type=int, default=None, metavar="K",
+                        help="ensemble size: run-scenario runs the scenario's "
+                             "+robust variant with K retrained black-box "
+                             "members scoring every candidate; serve-demo "
+                             "trains the ensemble, persists it to the "
+                             "artifact store and serves robust-aware from "
+                             "the warm start")
     return parser
 
 
@@ -128,7 +135,8 @@ def _run_discover(dataset, scale, seed, out_dir):
 
 
 def _run_serve_demo(dataset, scale, seed, out_dir, artifact_dir, rows,
-                    strategy_name=None, density_name=None, causal_name=None):
+                    strategy_name=None, density_name=None, causal_name=None,
+                    ensemble_size=None):
     """Train-or-load an artifact, then serve a warm-start batch twice.
 
     Demonstrates the full serving loop: ensure a fresh artifact in the
@@ -147,7 +155,12 @@ def _run_serve_demo(dataset, scale, seed, out_dir, artifact_dir, rows,
     ``--causal`` the named causal model is fitted on the training split,
     persisted next to the artifact and served from the warm start
     (``causal="store"``): every served batch is causally repaired before
-    validity/feasibility, whichever strategy answers it.
+    validity/feasibility, whichever strategy answers it.  With
+    ``--ensemble K`` a K-member black-box ensemble (the artifact's own
+    model plus K-1 retrained variants) is trained, persisted next to the
+    artifact and served from the warm start (``ensemble="store"``):
+    every served batch is scored against all members and quorum-robust
+    candidates win selection.
     """
     import time
 
@@ -205,9 +218,26 @@ def _run_serve_demo(dataset, scale, seed, out_dir, artifact_dir, rows,
         causal = "store"  # prove the round trip: serve from disk state
         fit_causal_seconds = time.perf_counter() - start
 
+    ensemble = None
+    fit_ensemble_seconds = 0.0
+    if ensemble_size is not None:
+        from .experiments import get_scale
+        from .models import train_ensemble
+
+        start = time.perf_counter()
+        x_train, y_train = bundle.split("train")
+        model = train_ensemble(
+            x_train, y_train, n_members=ensemble_size, seed=seed,
+            epochs=get_scale(scale).blackbox_epochs,
+            include=pipeline.blackbox)
+        store.save_ensemble(name, model)
+        ensemble = "store"  # prove the round trip: serve from disk state
+        fit_ensemble_seconds = time.perf_counter() - start
+
     start = time.perf_counter()
     service = ExplanationService.warm_start(
-        store, name, strategy=strategy, density=density, causal=causal)
+        store, name, strategy=strategy, density=density, causal=causal,
+        ensemble=ensemble)
     result = service.explain_batch(batch)
     warm_seconds = time.perf_counter() - start
 
@@ -221,6 +251,8 @@ def _run_serve_demo(dataset, scale, seed, out_dir, artifact_dir, rows,
         served += f" + {density_name} density"
     if causal_name is not None:
         served += f" + {causal_name} causal"
+    if ensemble_size is not None:
+        served += f" + K{ensemble_size} ensemble"
     table_rows = [
         ["ensure artifact", ensure_seconds,
          "cache hit" if was_cached else "cold train + save"],
@@ -229,6 +261,9 @@ def _run_serve_demo(dataset, scale, seed, out_dir, artifact_dir, rows,
         ["cached batch", cached_seconds,
          f"{stats['cache_hits']} cache hits"],
     ]
+    if ensemble_size is not None:
+        table_rows.insert(1, ["fit + persist ensemble", fit_ensemble_seconds,
+                              f"K{ensemble_size}, served from store state"])
     if causal_name is not None:
         table_rows.insert(1, ["fit + persist causal", fit_causal_seconds,
                               f"{causal_name}, served from store state"])
@@ -245,13 +280,15 @@ def _run_serve_demo(dataset, scale, seed, out_dir, artifact_dir, rows,
 
 
 def _run_scenario(scenario_name, scale, seed, out_dir, density=None,
-                  causal=None):
+                  causal=None, ensemble=None):
     """Run one registered scenario and print its Table IV-style row.
 
     ``density`` / ``causal`` switch to the scenario's ``+<model>``
     registry variant (building an ad-hoc variant when none is
     registered, e.g. ``latent`` on a baseline — which then fails with
     the registry's clear error instead of a silent fallback).
+    ``ensemble`` switches to the ``+robust`` variant, resized to K
+    members when K differs from the registered default.
     """
     import dataclasses
 
@@ -268,6 +305,14 @@ def _run_scenario(scenario_name, scale, seed, out_dir, density=None,
         except KeyError:
             scenario = dataclasses.replace(
                 scenario, name=variant, **{field_name: wanted})
+    if ensemble is not None and scenario.ensemble == 0:
+        variant = f"{scenario.name}+robust"
+        try:
+            scenario = get_scenario(variant)
+        except KeyError:
+            scenario = dataclasses.replace(scenario, name=variant)
+    if ensemble is not None and scenario.ensemble != ensemble:
+        scenario = dataclasses.replace(scenario, ensemble=ensemble)
     result = run_scenario(scenario, scale=scale, seed=seed)
     report = result.report
     rows = [
@@ -279,6 +324,8 @@ def _run_scenario(scenario_name, scale, seed, out_dir, density=None,
         ["sparsity", report.sparsity],
         ["density (mean kNN dist)", report.mean_knn_distance],
         ["causal plausibility (%)", report.causal_plausibility],
+        ["cross-model validity (%)", report.cross_model_validity],
+        ["robust validity (%)", report.robust_validity],
         ["rows explained", result.n_explained],
         ["blackbox accuracy", result.blackbox_accuracy],
     ]
@@ -301,11 +348,12 @@ def _run_list_scenarios(strategy, out_dir):
     from .utils.tables import render_table
 
     rows = [[s.name, s.dataset, s.strategy, s.constraint_kind, s.desired,
-             s.density or "-", s.causal or "-"]
+             s.density or "-", s.causal or "-",
+             f"K{s.ensemble}" if s.ensemble else "-"]
             for s in iter_scenarios(strategy=strategy)]
     text = render_table(
         ["scenario", "dataset", "strategy", "kind", "desired", "density",
-         "causal"], rows,
+         "causal", "robust"], rows,
         title=f"Scenario registry ({len(rows)} entries)")
     _emit(text, out_dir, "scenarios.txt")
 
@@ -337,13 +385,15 @@ def main(argv=None):
                         args.artifact_dir, args.rows,
                         strategy_name=args.strategy,
                         density_name=args.density,
-                        causal_name=args.causal)
+                        causal_name=args.causal,
+                        ensemble_size=args.ensemble)
     if args.command == "run-scenario":
         if args.scenario is None:
             print("run-scenario requires --scenario (see list-scenarios)")
             return 2
         _run_scenario(args.scenario, args.scale, args.seed, out_dir,
-                      density=args.density, causal=args.causal)
+                      density=args.density, causal=args.causal,
+                      ensemble=args.ensemble)
     if args.command == "list-scenarios":
         _run_list_scenarios(args.strategy, out_dir)
     if args.command == "all":

@@ -22,6 +22,7 @@ sparsity and density actually runs:
 from .kernel import CompiledConstraintSet, FeasibilityReport, compile_constraints
 from .runner import EngineRunner
 from .scenarios import (
+    DEFAULT_ENSEMBLE_SIZE,
     Scenario,
     ScenarioResult,
     get_scenario,
@@ -44,6 +45,7 @@ __all__ = [
     "CandidateBatch",
     "CompiledConstraintSet",
     "CoreCFStrategy",
+    "DEFAULT_ENSEMBLE_SIZE",
     "EngineRunner",
     "FeasibilityReport",
     "Scenario",

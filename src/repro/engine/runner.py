@@ -76,6 +76,20 @@ class EngineRunner:
         diagnostics and report column still fill) without rewriting
         them — for measuring how causally plausible a strategy's raw
         proposals are.
+    ensemble:
+        Optional trained :class:`repro.models.BlackBoxEnsemble`.  When
+        hosted, every candidate sweep is additionally scored against all
+        K member models in ONE fused pass
+        (:meth:`~repro.models.BlackBoxEnsemble.agreement`), a robust
+        pool (valid & feasible & quorum-robust) is prepended to the
+        selection cascade, per-row cross-model agreement appears in the
+        run diagnostics, and :meth:`evaluate` fills the Table IV
+        ``cross_model_validity`` / ``robust_validity`` columns.
+        ``None`` (the default) keeps the single-model pipeline bit for
+        bit.
+    robust_quorum:
+        Fraction of ensemble members that must classify a candidate as
+        its desired class for it to count as robust (default 0.5).
     """
 
     def __init__(
@@ -87,6 +101,8 @@ class EngineRunner:
         density_weight=1.0,
         causal=None,
         causal_repair=True,
+        ensemble=None,
+        robust_quorum=0.5,
     ):
         self.encoder = encoder
         self.blackbox = blackbox
@@ -103,6 +119,11 @@ class EngineRunner:
         self.density_weight = float(density_weight)
         self.causal = causal
         self.causal_repair = bool(causal_repair)
+        self.ensemble = ensemble
+        if not 0.0 < float(robust_quorum) <= 1.0:
+            raise ValueError(
+                f"robust_quorum must be in (0, 1], got {robust_quorum}")
+        self.robust_quorum = float(robust_quorum)
 
     # -- constraint bookkeeping ---------------------------------------------
     def flag_indices(self, strategy):
@@ -167,6 +188,15 @@ class EngineRunner:
             # ONE tiled query scores the full (n, m, d) sweep
             sweep_density = self.density.score_tiled(candidates)
 
+        sweep_cross = robust2d = None
+        if self.ensemble is not None:
+            # ONE fused K-model pass scores the full sweep against every
+            # ensemble member; the quorum turns agreement into a robust
+            # flag that steers selection below
+            sweep_cross = self.ensemble.agreement(
+                flat, np.repeat(desired, m)).reshape(n, m)
+            robust2d = sweep_cross >= self.robust_quorum
+
         if m == 1:
             x_cf = candidates[:, 0, :]
             chosen = np.zeros(n, dtype=int)
@@ -174,10 +204,12 @@ class EngineRunner:
         else:
             valid2d, flags2d = valid.reshape(n, m), flags.reshape(n, m)
             if sweep_density is None:
-                chosen = _select_candidates(x, candidates, valid2d, flags2d)
+                chosen = _select_candidates(
+                    x, candidates, valid2d, flags2d, robust=robust2d)
             else:
                 chosen = _select_candidates_density(
-                    x, candidates, valid2d, flags2d, sweep_density, self.density_weight
+                    x, candidates, valid2d, flags2d, sweep_density,
+                    self.density_weight, robust=robust2d
                 )
             rows = np.arange(n)
             x_cf = candidates[rows, chosen]
@@ -211,6 +243,12 @@ class EngineRunner:
                 # repair distance of each row's selected candidate: how
                 # far the raw proposal was from causal consistency
                 diagnostics["row_causal"] = sweep_causal[np.arange(n), chosen]
+            if sweep_cross is not None:
+                rows = np.arange(n)
+                diagnostics["row_cross_validity"] = sweep_cross[rows, chosen]
+                diagnostics["row_robust"] = robust2d[rows, chosen]
+                diagnostics["candidate_robustness"] = (
+                    float(robust2d.mean()) if robust2d.size else 0.0)
             return result, diagnostics
         return result
 
@@ -257,23 +295,40 @@ class EngineRunner:
             predicted=result.predicted,
             density_scores=diagnostics.get("row_density"),
             causal_scores=diagnostics.get("row_causal"),
+            cross_model_scores=diagnostics.get("row_cross_validity"),
+            robust_flags=diagnostics.get("row_robust"),
         )
 
 
-def _select_candidates(x, candidates, valid, feasible):
+def _selection_pools(valid, feasible, robust=None):
+    """The serving preference cascade, optionally led by a robust pool.
+
+    Without an ensemble the pools are the historical pair (valid &
+    feasible, then valid).  A hosted ensemble prepends candidates that
+    additionally clear the robustness quorum, so a quorum-robust
+    counterfactual wins whenever one exists while rows without any fall
+    back to exactly the single-model choice.
+    """
+    pools = (valid & feasible, valid)
+    if robust is None:
+        return pools
+    return (valid & feasible & robust,) + pools
+
+
+def _select_candidates(x, candidates, valid, feasible, robust=None):
     """Vectorized per-row candidate choice (the serving policy).
 
-    Preference order: valid & feasible, then valid, then candidate 0
-    (the deterministic decode).  Within a pool the candidate closest to
-    the input by L1 distance wins — identical to
-    ``repro.serve.service._pick_candidate`` applied row by row.
+    Preference order: valid & feasible (& quorum-robust first, when an
+    ensemble is hosted), then valid, then candidate 0 (the deterministic
+    decode).  Within a pool the candidate closest to the input by L1
+    distance wins — identical to ``repro.serve.service._pick_candidate``
+    applied row by row.
     """
     distances = np.abs(candidates - x[:, None, :]).sum(axis=2)
     n, m = distances.shape
     chosen = np.zeros(n, dtype=int)
-    pools = (valid & feasible, valid)
     remaining = np.ones(n, dtype=bool)
-    for pool in pools:
+    for pool in _selection_pools(valid, feasible, robust):
         useful = remaining & pool.any(axis=1)
         if useful.any():
             masked = np.where(pool[useful], distances[useful], np.inf)
@@ -282,17 +337,18 @@ def _select_candidates(x, candidates, valid, feasible):
     return chosen
 
 
-def _select_candidates_density(x, candidates, valid, feasible, density, weight):
+def _select_candidates_density(x, candidates, valid, feasible, density, weight,
+                               robust=None):
     """Vectorized per-row choice under the Figure 3 proximity+density score.
 
-    Same pool cascade as :func:`_select_candidates` (valid & feasible,
-    then valid, then any), but within a pool the winner maximises the
-    standardized ``-proximity - weight * density`` combination instead of
-    pure closeness — exactly the ``DensityCFSelector`` scoring, hosted
-    once for every strategy.
+    Same pool cascade as :func:`_select_candidates` (robust when hosted,
+    valid & feasible, then valid, then any), but within a pool the
+    winner maximises the standardized ``-proximity - weight * density``
+    combination instead of pure closeness — exactly the
+    ``DensityCFSelector`` scoring, hosted once for every strategy.
     """
     from ..core.selection import argmax_by_pools, standardize_rows
 
     proximity = np.abs(candidates - x[:, None, :]).sum(axis=2)
     scores = -standardize_rows(proximity) - weight * standardize_rows(density)
-    return argmax_by_pools(scores, (valid & feasible, valid))
+    return argmax_by_pools(scores, _selection_pools(valid, feasible, robust))

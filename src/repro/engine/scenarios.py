@@ -10,11 +10,14 @@ is a one-liner instead of bespoke glue per entry point.
 Built-in scenarios cover the full Table IV grid (every registry dataset
 times every strategy name) plus the density variants — every grid entry
 with a ``knn`` and ``kde`` density-aware runner, and the core strategies
-additionally with the CF-VAE ``latent`` estimator — and the causal
+additionally with the CF-VAE ``latent`` estimator — the causal
 variants — every grid entry with an ``scm`` (structural-equation repair)
-and ``mined`` (discovered-relation repair) causal-aware runner.  Variant
-names follow ``"<dataset>/<strategy>+<model>"``.  ``register_scenario``
-adds custom entries.
+and ``mined`` (discovered-relation repair) causal-aware runner — and the
+robust variants — every grid entry with a K-model ensemble runner
+(``+robust``), plus the density-guided combination of ensemble and
+``knn`` estimator (``+robust-knn``).  Variant names follow
+``"<dataset>/<strategy>+<model>"``.  ``register_scenario`` adds custom
+entries.
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ from dataclasses import dataclass, field
 from .strategy import STRATEGY_NAMES
 
 __all__ = [
+    "DEFAULT_ENSEMBLE_SIZE",
     "Scenario",
     "ScenarioResult",
     "get_scenario",
@@ -89,6 +93,16 @@ class Scenario:
         its relations from the training split), candidate batches are
         causally repaired before feasibility and the report gains the
         ``causal_plausibility`` column.
+    ensemble:
+        Number of retrained black-box variants to score candidates
+        against (0 — the default — runs the single-model pipeline).
+        When positive, the run trains a
+        :class:`repro.models.BlackBoxEnsemble` of that size around the
+        context's shared black-box, the runner prefers quorum-robust
+        candidates, and the report gains the ``cross_model_validity`` /
+        ``robust_validity`` columns.
+    robust_quorum:
+        Member-agreement fraction a candidate needs to count as robust.
     """
 
     name: str
@@ -101,6 +115,8 @@ class Scenario:
     density: str = None
     density_weight: float = 1.0
     causal: str = None
+    ensemble: int = 0
+    robust_quorum: float = 0.5
 
     def params(self):
         """``strategy_params`` as a plain dict."""
@@ -118,6 +134,10 @@ class ScenarioResult:
 
 
 _SCENARIOS = {}
+
+#: Ensemble size (primary model + retrained variants) of the builtin
+#: ``+robust`` scenario variants and the CLI ``--ensemble`` default.
+DEFAULT_ENSEMBLE_SIZE = 4
 
 
 def register_scenario(scenario, overwrite=False):
@@ -145,6 +165,12 @@ def register_scenario(scenario, overwrite=False):
     if scenario.causal is not None and scenario.causal not in CAUSAL_NAMES:
         raise KeyError(
             f"unknown causal model {scenario.causal!r}; options: {CAUSAL_NAMES}"
+        )
+    if scenario.ensemble < 0:
+        raise ValueError(f"ensemble must be >= 0, got {scenario.ensemble}")
+    if not 0.0 < scenario.robust_quorum <= 1.0:
+        raise ValueError(
+            f"robust_quorum must be in (0, 1], got {scenario.robust_quorum}"
         )
     if not overwrite and scenario.name in _SCENARIOS:
         raise KeyError(f"scenario {scenario.name!r} already registered")
@@ -206,24 +232,45 @@ def _register_builtins():
                         causal=causal,
                     )
                 )
+            # robust variants: candidates additionally scored against a
+            # K-model ensemble with quorum-robust winners preferred;
+            # +robust-knn pairs the ensemble with the knn density
+            # estimator (the model-multiplicity paper's combination)
+            for suffix, density in (("robust", None), ("robust-knn", "knn")):
+                register_scenario(
+                    Scenario(
+                        name=f"{dataset}/{strategy}+{suffix}",
+                        dataset=dataset,
+                        strategy=strategy,
+                        constraint_kind=kind,
+                        strategy_params=params,
+                        density=density,
+                        ensemble=DEFAULT_ENSEMBLE_SIZE,
+                    )
+                )
 
 
 #: Sentinel for "no filter" (None filters for model-less entries).
 _ANY = object()
 
 
-def scenario_names(dataset=None, strategy=None, density=_ANY, causal=_ANY):
+def scenario_names(dataset=None, strategy=None, density=_ANY, causal=_ANY,
+                   ensemble=_ANY):
     """Registered scenario names, optionally filtered."""
-    matches = iter_scenarios(dataset=dataset, strategy=strategy, density=density, causal=causal)
+    matches = iter_scenarios(dataset=dataset, strategy=strategy,
+                             density=density, causal=causal,
+                             ensemble=ensemble)
     return [s.name for s in matches]
 
 
-def iter_scenarios(dataset=None, strategy=None, density=_ANY, causal=_ANY):
+def iter_scenarios(dataset=None, strategy=None, density=_ANY, causal=_ANY,
+                   ensemble=_ANY):
     """Iterate registered scenarios in registration order, filtered.
 
     ``density`` / ``causal`` filter on the hosted model name; pass
     ``None`` explicitly to iterate only entries without that model (the
-    default matches every entry).
+    default matches every entry).  ``ensemble`` filters on the hosted
+    ensemble size; pass ``0`` explicitly for single-model entries only.
     """
     for scenario in _SCENARIOS.values():
         if dataset is not None and scenario.dataset != dataset:
@@ -233,6 +280,8 @@ def iter_scenarios(dataset=None, strategy=None, density=_ANY, causal=_ANY):
         if density is not _ANY and scenario.density != density:
             continue
         if causal is not _ANY and scenario.causal != causal:
+            continue
+        if ensemble is not _ANY and scenario.ensemble != ensemble:
             continue
         yield scenario
 
@@ -254,10 +303,12 @@ def run_scenario(scenario, scale=None, seed=0, store=None, context=None, runner=
     reuse the trained context across scenarios of the same dataset.
 
     Density scenarios (``scenario.density`` set) fit the named estimator
-    on the desired-class training rows, and causal scenarios
+    on the desired-class training rows, causal scenarios
     (``scenario.causal`` set) fit the named causal model on the training
-    split; either runs through a dedicated model-hosting runner — a
-    passed ``runner`` is not mutated.
+    split, and robust scenarios (``scenario.ensemble`` positive) train a
+    :class:`repro.models.BlackBoxEnsemble` of that size around the
+    context's shared black-box; any of these runs through a dedicated
+    model-hosting runner — a passed ``runner`` is not mutated.
     """
     from ..experiments.harness import prepare_context
     from .runner import EngineRunner
@@ -285,7 +336,12 @@ def run_scenario(scenario, scale=None, seed=0, store=None, context=None, runner=
     )
     strategy.fit(context.x_train, context.y_train)
 
-    if scenario.density is not None or scenario.causal is not None:
+    hosts_model = (
+        scenario.density is not None
+        or scenario.causal is not None
+        or scenario.ensemble > 0
+    )
+    if hosts_model:
         density = None
         if scenario.density is not None:
             density = _fit_scenario_density(scenario, context, strategy)
@@ -294,12 +350,29 @@ def run_scenario(scenario, scale=None, seed=0, store=None, context=None, runner=
             from ..causal import fit_causal
 
             causal = fit_causal(scenario.causal, encoder, context.x_train, context.y_train)
+        ensemble = None
+        if scenario.ensemble > 0:
+            from ..models import train_ensemble
+
+            # the context's shared black-box joins as member 0, so the
+            # cross-model columns measure robustness around the model
+            # actually being explained
+            ensemble = train_ensemble(
+                context.x_train,
+                context.y_train,
+                n_members=scenario.ensemble,
+                seed=context.seed,
+                epochs=context.scale.blackbox_epochs,
+                include=context.blackbox,
+            )
         runner = EngineRunner(
             encoder,
             context.blackbox,
             density=density,
             density_weight=scenario.density_weight,
             causal=causal,
+            ensemble=ensemble,
+            robust_quorum=scenario.robust_quorum,
         )
     elif runner is None:
         runner = EngineRunner(encoder, context.blackbox)

@@ -31,6 +31,18 @@ about ("as fast as the hardware allows"):
   bit-identical before timing and the batched path must hold a >= 3x
   speedup; the mined-relation model rides along as an informational
   rate.
+* **robust** — the fused K-model ensemble scoring
+  (:meth:`repro.models.BlackBoxEnsemble.predict_logits_all`: all K
+  member forwards collapsed into ONE stacked GEMM + one einsum
+  reduction) against the per-member ``predict_logits_loop`` a
+  pre-ensemble stack would run per request.  The workload is the
+  serving-request shape (batch 16) — the per-candidate robust-validity
+  check ``EngineRunner(ensemble=)`` issues while answering one request
+  — where fusing K member dispatches into one pays off; at large
+  flattened sweeps the FLOPs are identical and the fused path holds no
+  advantage.  Hard predictions are asserted bit-identical (logits agree
+  to BLAS-blocking precision) before timing and the fused path must
+  hold a >= 3x speedup.
 * **density** — the batched density-aware selection
   (:meth:`repro.core.DensityCFSelector.select_batch`: ONE tiled density
   query + one vectorized score pass for the whole sweep) against the
@@ -65,7 +77,8 @@ from ..data import load_dataset
 from ..models import BlackBoxClassifier, train_classifier
 
 __all__ = ["MIN_CAUSAL_SPEEDUP", "MIN_DENSITY_SPEEDUP", "MIN_KERNEL_SPEEDUP",
-           "PERF_SCALES", "PRE_PR_BASELINE", "run_perfbench", "write_bench"]
+           "MIN_ROBUST_SPEEDUP", "PERF_SCALES", "PRE_PR_BASELINE",
+           "run_perfbench", "write_bench"]
 
 #: Acceptance floor: the compiled feasibility kernel must beat the
 #: per-constraint loop evaluator by at least this factor (the single
@@ -79,6 +92,11 @@ MIN_DENSITY_SPEEDUP = 3.0
 #: Acceptance floor: the batched causal repair must beat the per-row
 #: repair loop by at least this factor.
 MIN_CAUSAL_SPEEDUP = 3.0
+
+#: Acceptance floor: the fused K-model ensemble scoring must beat the
+#: per-member prediction loop by at least this factor at the
+#: serving-request batch shape.
+MIN_ROBUST_SPEEDUP = 3.0
 
 #: Workload definitions.  ``smoke`` finishes in well under a minute and is
 #: what CI runs; ``full`` is for local trajectory tracking.
@@ -100,6 +118,8 @@ PERF_SCALES = {
         "density_candidates": 16,
         "causal_rows": 96,
         "causal_candidates": 16,
+        "robust_members": 8,
+        "robust_batch": 16,
         "min_seconds": 1.0,
     },
     "full": {
@@ -119,6 +139,8 @@ PERF_SCALES = {
         "density_candidates": 16,
         "causal_rows": 192,
         "causal_candidates": 16,
+        "robust_members": 8,
+        "robust_batch": 16,
         "min_seconds": 1.5,
     },
 }
@@ -409,6 +431,68 @@ def _causal_section(bundle, spec, min_seconds, seed):
     }
 
 
+def _robust_section(bundle, spec, min_seconds, seed):
+    """Time the fused K-model ensemble scoring against the member loop.
+
+    The workload is the serving-request shape: one ``robust_batch``-row
+    validity check against all ``robust_members`` ensemble members —
+    what ``EngineRunner(ensemble=)`` issues per explained request and
+    the rollover migration issues per cached entry.  The batch is kept
+    request-sized deliberately: the fused path wins by collapsing K
+    Python/dispatch round trips into one stacked GEMM, an advantage
+    that exists at small batches and vanishes on large flattened sweeps
+    where the identical FLOPs dominate.  Hard predictions are asserted
+    bit-identical before timing (raw logits agree only to BLAS-blocking
+    precision, like the float32 fast mode above) and the fused path
+    must hold the 3x acceptance floor; the per-row agreement scoring
+    rides along as an informational rate.
+    """
+    from ..models import train_ensemble
+
+    k = spec["robust_members"]
+    batch = np.ascontiguousarray(bundle.encoded[:spec["robust_batch"]])
+    x_train, y_train = bundle.split("train")
+    ensemble = train_ensemble(
+        x_train[:spec["train_rows"]], y_train[:spec["train_rows"]],
+        n_members=k, seed=seed, epochs=spec["train_epochs"],
+        batch_size=spec["train_batch_size"])
+
+    logits_fused = ensemble.predict_logits_all(batch)
+    logits_loop = ensemble.predict_logits_loop(batch)
+    if not np.array_equal(logits_fused > 0.0, logits_loop > 0.0):
+        raise AssertionError(
+            "fused ensemble scoring changed hard predictions")
+    if not np.allclose(logits_fused, logits_loop, atol=1e-9):
+        raise AssertionError(
+            "fused ensemble logits diverge from the per-member loop "
+            "beyond BLAS-blocking precision")
+
+    loop_rate, loop_calls = _throughput(
+        lambda: ensemble.predict_logits_loop(batch), len(batch), min_seconds)
+    fast_rate, fast_calls = _throughput(
+        lambda: ensemble.predict_logits_all(batch), len(batch), min_seconds)
+    speedup = fast_rate / loop_rate
+    if speedup < MIN_ROBUST_SPEEDUP:
+        raise AssertionError(
+            f"fused ensemble-scoring speedup {speedup:.2f}x is below the "
+            f"{MIN_ROBUST_SPEEDUP}x floor")
+
+    desired = 1 - ensemble.predict(batch)
+    agreement_rate, _ = _throughput(
+        lambda: ensemble.agreement(batch, desired), len(batch), min_seconds)
+
+    return {
+        "rows": len(batch),
+        "n_members": k,
+        "rows_per_sec": round(fast_rate, 1),
+        "rows_per_sec_loop": round(loop_rate, 1),
+        "model_rows_per_sec": round(fast_rate * k, 1),
+        "speedup_fused_vs_loop": round(speedup, 2),
+        "agreement_rows_per_sec": round(agreement_rate, 1),
+        "calls": fast_calls + loop_calls,
+    }
+
+
 def _serve_section(spec, seed):
     """Time cold-start vs warm-start serving on the bench workload.
 
@@ -568,6 +652,7 @@ def run_perfbench(scale="smoke", seed=0):
             bundle, spec, min_seconds, seed),
         "density": _density_section(explainer, bundle, spec, min_seconds, seed),
         "causal": _causal_section(bundle, spec, min_seconds, seed),
+        "robust": _robust_section(bundle, spec, min_seconds, seed),
         "serve": _serve_section(spec, seed),
     }
     if scale == PRE_PR_BASELINE["scale"]:

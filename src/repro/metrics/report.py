@@ -37,6 +37,12 @@ class MethodReport:
     :class:`repro.causal.CausalModel` (repair distance at most
     ``CAUSAL_TOLERANCE``) — and is likewise None when no causal model
     was hosted.
+    ``cross_model_validity`` / ``robust_validity`` are the robustness
+    columns under a hosted :class:`repro.models.BlackBoxEnsemble`:
+    the mean percentage of ensemble members the selected counterfactuals
+    flip, and the percentage of rows whose member agreement clears the
+    runner's quorum.  Both are None when no ensemble was hosted, so the
+    single-model table is unchanged.
     """
 
     method: str
@@ -49,6 +55,8 @@ class MethodReport:
     n_instances: int = 0
     mean_knn_distance: float = None
     causal_plausibility: float = None
+    cross_model_validity: float = None
+    robust_validity: float = None
 
     def as_row(self):
         """Cells in the paper's Table IV column order."""
@@ -60,7 +68,8 @@ class MethodReport:
 def evaluate_counterfactuals(method_name, x, x_cf, desired, blackbox, encoder,
                              stats=None, x_train=None, report_kinds=("unary", "binary"),
                              feasibility_report=None, predicted=None,
-                             density_scores=None, causal_scores=None):
+                             density_scores=None, causal_scores=None,
+                             cross_model_scores=None, robust_flags=None):
     """Compute the full metric bundle for one method's counterfactuals.
 
     Parameters
@@ -104,6 +113,15 @@ def evaluate_counterfactuals(method_name, x, x_cf, desired, blackbox, encoder,
         pre-repair distances of the run being evaluated); the fraction
         at most ``CAUSAL_TOLERANCE`` fills the report's
         ``causal_plausibility`` column as a percentage.
+    cross_model_scores:
+        Optional per-row member-agreement fractions in ``[0, 1]`` under
+        a hosted :class:`repro.models.BlackBoxEnsemble` (the engine
+        runner passes the agreement of the selected candidates); their
+        mean fills ``cross_model_validity`` as a percentage.
+    robust_flags:
+        Optional per-row booleans marking rows whose agreement cleared
+        the runner's quorum; their mean fills ``robust_validity`` as a
+        percentage.
     """
     x = np.asarray(x)
     x_cf = np.asarray(x_cf)
@@ -146,7 +164,19 @@ def evaluate_counterfactuals(method_name, x, x_cf, desired, blackbox, encoder,
             None if density_scores is None
             else float(np.mean(density_scores))),
         causal_plausibility=_causal_plausibility(causal_scores),
+        cross_model_validity=_percentage(cross_model_scores),
+        robust_validity=_percentage(robust_flags),
     )
+
+
+def _percentage(values):
+    """Mean of per-row scores/flags as a percentage, or None when absent."""
+    if values is None:
+        return None
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return 0.0
+    return float(values.mean() * 100.0)
 
 
 def _causal_plausibility(causal_scores):

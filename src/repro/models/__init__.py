@@ -1,11 +1,13 @@
 """Models: the black-box classifier and the Table II conditional VAE."""
 
 from .blackbox import BlackBoxClassifier, accuracy, train_classifier
+from .ensemble import ENSEMBLE_MODES, BlackBoxEnsemble, train_ensemble
 from .training import train_reconstruction_vae
 from .vae import DECODER_WIDTHS, ENCODER_WIDTHS, LATENT_DIM, ConditionalVAE
 
 __all__ = [
     "BlackBoxClassifier", "train_classifier", "accuracy",
+    "BlackBoxEnsemble", "train_ensemble", "ENSEMBLE_MODES",
     "ConditionalVAE", "LATENT_DIM", "ENCODER_WIDTHS", "DECODER_WIDTHS",
     "train_reconstruction_vae",
 ]

@@ -64,6 +64,15 @@ class LRUResultCache:
             self._entries.popitem(last=False)
             self.evictions += 1
 
+    def items(self):
+        """Snapshot of ``(key, value)`` pairs in LRU-to-MRU order.
+
+        Reading through this view does not touch the hit/miss counters
+        or recency — it exists for bulk maintenance (the serving
+        rollover migration re-validates every entry), not for lookups.
+        """
+        return list(self._entries.items())
+
     def clear(self):
         """Drop every entry (statistics are kept)."""
         self._entries.clear()

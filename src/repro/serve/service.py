@@ -102,6 +102,14 @@ class ExplanationService:
         the engine runner hosts it: every cache-miss batch is causally
         repaired between immutable projection and the feasibility
         kernel, whichever strategy serves it.
+    ensemble:
+        Optional trained :class:`repro.models.BlackBoxEnsemble`.  When
+        given, the engine runner hosts it: every cache-miss batch is
+        scored against all K member models in one fused pass and
+        quorum-robust candidates win selection.  Cache keys additionally
+        carry the ensemble fingerprint.
+    robust_quorum:
+        Member-agreement fraction a candidate needs to count as robust.
     """
 
     def __init__(
@@ -113,6 +121,8 @@ class ExplanationService:
         density_weight=1.0,
         density_candidates=8,
         causal=None,
+        ensemble=None,
+        robust_quorum=0.5,
     ):
         self.pipeline = pipeline
         self.explainer = pipeline.explainer
@@ -121,6 +131,8 @@ class ExplanationService:
         self.density_weight = float(density_weight)
         self.density_candidates = int(density_candidates)
         self.causal = causal
+        self.ensemble = ensemble
+        self.robust_quorum = float(robust_quorum)
         self.fingerprint = pipeline.fingerprint
         self._fingerprinted_strategy = strategy
         self._strategy_fingerprint = strategy.fingerprint() if strategy is not None else "core"
@@ -128,6 +140,8 @@ class ExplanationService:
         self._density_fingerprint = density.fingerprint() if density is not None else "none"
         self._fingerprinted_causal = causal
         self._causal_fingerprint = causal.fingerprint() if causal is not None else "none"
+        self._fingerprinted_ensemble = ensemble
+        self._ensemble_fingerprint = ensemble.fingerprint() if ensemble is not None else "none"
         self._runner = None
         self._core_strategy = None
         self.cache = LRUResultCache(cache_size)
@@ -136,6 +150,8 @@ class ExplanationService:
         self.rows_served = 0
         self.flushes = 0
         self.rows_coalesced = 0
+        #: Counters of the last :meth:`migrate_cache` call (None before).
+        self.last_migration = None
 
     # -- construction --------------------------------------------------------
     @classmethod
@@ -150,6 +166,10 @@ class ExplanationService:
         density_weight=1.0,
         density_candidates=8,
         causal=None,
+        ensemble=None,
+        robust_quorum=0.5,
+        on_stale="raise",
+        migrate_from=None,
     ):
         """Build a service from a stored artifact without any training.
 
@@ -163,16 +183,56 @@ class ExplanationService:
         ``causal`` likewise accepts a fitted
         :class:`repro.causal.CausalModel` or ``"store"``
         (:meth:`repro.serve.ArtifactStore.load_causal`, with the
-        warm-started encoder re-attached).  Raises the store's
-        ``ArtifactError``/``StaleArtifactError`` when the artifact is
-        missing, corrupted or stale.
+        warm-started encoder re-attached), and ``ensemble`` a trained
+        :class:`repro.models.BlackBoxEnsemble` or ``"store"``
+        (:meth:`repro.serve.ArtifactStore.load_ensemble`).  Raises the
+        store's ``ArtifactError``/``StaleArtifactError`` when the
+        artifact is missing, corrupted or stale.
+
+        ``on_stale`` controls the rollover behaviour when
+        ``expected_fingerprint`` no longer matches the stored artifact
+        (the model was retrained under the service's feet):
+
+        * ``"raise"`` (default) — propagate :class:`StaleArtifactError`
+          cold, the strict historical contract;
+        * ``"migrate"`` — warm-start from the artifact the store
+          *currently* holds instead, then (when ``migrate_from`` is an
+          old :class:`ExplanationService`) re-validate its cached
+          explanations against the new model in one batched pass and
+          keep the survivors (:meth:`migrate_cache`).  Internal
+          corruption — a bad checksum, a schema/config drift within the
+          artifact itself — still raises: migration only forgives the
+          *requested-pipeline* mismatch that a rollover produces.
+
+        ``migrate_from`` may also be combined with a successful strict
+        load to carry a previous service's still-valid cache across a
+        process restart.
         """
-        pipeline = store.load(name, expected_fingerprint=expected_fingerprint)
+        if on_stale not in ("raise", "migrate"):
+            raise ValueError(
+                f'on_stale must be "raise" or "migrate", got {on_stale!r}')
+        from .store import StaleArtifactError
+
+        try:
+            pipeline = store.load(name, expected_fingerprint=expected_fingerprint)
+        except StaleArtifactError as error:
+            if (
+                on_stale != "migrate"
+                or expected_fingerprint is None
+                or error.expected != expected_fingerprint
+            ):
+                raise
+            # the artifact rolled past the requested pipeline: serve what
+            # the store holds now (this load still enforces the artifact's
+            # own internal consistency) and salvage the old cache below
+            pipeline = store.load(name)
         if density == "store":
             density = store.load_density(name, vae=pipeline.explainer.generator.vae)
         if causal == "store":
             causal = store.load_causal(name, encoder=pipeline.encoder)
-        return cls(
+        if ensemble == "store":
+            ensemble = store.load_ensemble(name)
+        service = cls(
             pipeline,
             cache_size=cache_size,
             strategy=strategy,
@@ -180,21 +240,29 @@ class ExplanationService:
             density_weight=density_weight,
             density_candidates=density_candidates,
             causal=causal,
+            ensemble=ensemble,
+            robust_quorum=robust_quorum,
         )
+        if migrate_from is not None:
+            service.migrate_cache(migrate_from)
+        return service
 
     @property
     def runner(self):
         """Shared engine runner over the pipeline (built lazily).
 
-        Rebuilt when :attr:`density`, :attr:`density_weight` or
-        :attr:`causal` is re-pointed so the hosted model configuration
-        always matches the one the cache keys are derived from.
+        Rebuilt when :attr:`density`, :attr:`density_weight`,
+        :attr:`causal`, :attr:`ensemble` or :attr:`robust_quorum` is
+        re-pointed so the hosted model configuration always matches the
+        one the cache keys are derived from.
         """
         if (
             self._runner is None
             or self._runner.density is not self.density
             or self._runner.density_weight != self.density_weight
             or self._runner.causal is not self.causal
+            or self._runner.ensemble is not self.ensemble
+            or self._runner.robust_quorum != self.robust_quorum
         ):
             self._runner = EngineRunner(
                 self.encoder,
@@ -202,6 +270,8 @@ class ExplanationService:
                 density=self.density,
                 density_weight=self.density_weight,
                 causal=self.causal,
+                ensemble=self.ensemble,
+                robust_quorum=self.robust_quorum,
             )
         return self._runner
 
@@ -299,13 +369,37 @@ class ExplanationService:
         return self._causal_fingerprint
 
     @property
+    def ensemble_fingerprint(self):
+        """Fingerprint of the served ensemble configuration.
+
+        ``"none"`` without an ensemble; otherwise the ensemble
+        fingerprint tagged with the quorum (the quorum changes which
+        candidate wins selection, so it is cache-relevant).  Same
+        identity-based recompute rule as the density fingerprint.
+        """
+        if self.ensemble is not self._fingerprinted_ensemble:
+            self._fingerprinted_ensemble = self.ensemble
+            self._ensemble_fingerprint = (
+                self.ensemble.fingerprint() if self.ensemble is not None else "none"
+            )
+        if self.ensemble is None:
+            return self._ensemble_fingerprint
+        return f"{self._ensemble_fingerprint}@q{self.robust_quorum}"
+
+    @property
     def _hosts_model(self):
         """Whether cache-miss rows must route through the engine runner."""
-        return self.strategy is not None or self.density is not None or self.causal is not None
+        return (
+            self.strategy is not None
+            or self.density is not None
+            or self.causal is not None
+            or self.ensemble is not None
+        )
 
     @property
     def cache_fingerprint(self):
-        """Composite cache-key component: pipeline, strategy, density, causal.
+        """Composite cache-key component:
+        ``pipeline:strategy:density:causal:ensemble``.
 
         Uses the pipeline fingerprint hashed once at construction —
         recomputing it per lookup would re-serialise the config and
@@ -314,10 +408,60 @@ class ExplanationService:
         return (
             f"{self.fingerprint}:{self.strategy_fingerprint}"
             f":{self.density_fingerprint}:{self.causal_fingerprint}"
+            f":{self.ensemble_fingerprint}"
         )
 
     def _key(self, row, desired, fingerprint):
         return (row.tobytes(), int(desired), fingerprint)
+
+    # -- rollover migration ---------------------------------------------------
+    def migrate_cache(self, old_service):
+        """Carry another service's cache across a model rollover.
+
+        Re-validates every explanation cached by ``old_service`` (under
+        its own composite fingerprint) against *this* service's model in
+        ONE batched pass — one black-box predict over the cached
+        counterfactuals plus one compiled-kernel feasibility pass — and
+        re-inserts the rows whose counterfactual still reaches its
+        desired class under the new model, keyed under this service's
+        fingerprint.  Survivors keep serving from memory after a
+        retrain; dropped rows fall back to cache misses and are
+        re-explained by the new model on their next request.
+
+        Returns (and records in :attr:`last_migration`) the counters
+        ``{"examined", "survivors", "dropped"}``.
+        """
+        width = self.encoder.n_encoded
+        old_fingerprint = old_service.cache_fingerprint
+        rows, desired, x_cf = [], [], []
+        for (row_bytes, target, fingerprint), entry in old_service.cache.items():
+            if fingerprint != old_fingerprint:
+                continue
+            row = np.frombuffer(row_bytes, dtype=np.float64)
+            if row.shape[0] != width:
+                continue
+            rows.append(row)
+            desired.append(int(target))
+            x_cf.append(entry[0])
+
+        counters = {"examined": len(rows), "survivors": 0, "dropped": 0}
+        if rows:
+            rows = np.stack(rows)
+            desired = np.asarray(desired, dtype=int)
+            x_cf = np.stack(x_cf)
+            predicted = self.explainer.blackbox.predict(x_cf)
+            feasible = self.explainer.compiled_constraints.satisfied(rows, x_cf)
+            survivors = predicted == desired
+            fingerprint = self.cache_fingerprint
+            for i in np.flatnonzero(survivors):
+                self.cache.put(
+                    self._key(rows[i], desired[i], fingerprint),
+                    (x_cf[i].copy(), int(predicted[i]), bool(feasible[i])),
+                )
+            counters["survivors"] = int(survivors.sum())
+            counters["dropped"] = int((~survivors).sum())
+        self.last_migration = counters
+        return counters
 
     # -- batch serving -------------------------------------------------------
     def explain_batch(self, rows, desired=None):

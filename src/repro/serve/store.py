@@ -29,7 +29,7 @@ from ..core import CFTrainingConfig, FeasibleCFExplainer, paper_config
 from ..data import TabularEncoder, dataset_schema
 from ..density import density_from_state
 from ..experiments.runconfig import get_scale
-from ..models import BlackBoxClassifier, ConditionalVAE
+from ..models import BlackBoxClassifier, BlackBoxEnsemble, ConditionalVAE
 from ..nn import load_state, save_state
 from .pipeline import TrainedPipeline, pipeline_fingerprint, train_pipeline
 
@@ -51,6 +51,8 @@ _DENSITY = "density.npz"
 _DENSITY_META = "density.json"
 _CAUSAL = "causal.npz"
 _CAUSAL_META = "causal.json"
+_ENSEMBLE = "ensemble.npz"
+_ENSEMBLE_META = "ensemble.json"
 
 
 class ArtifactError(RuntimeError):
@@ -58,7 +60,20 @@ class ArtifactError(RuntimeError):
 
 
 class StaleArtifactError(ArtifactError):
-    """An artifact exists but no longer matches the current code/config."""
+    """An artifact exists but no longer matches the current code/config.
+
+    Every raise site records the mismatch in structured form —
+    ``expected`` (what the current code or caller demanded) and
+    ``found`` (what the artifact actually carries) — so rollover
+    tooling can log the exact fingerprint/version pair and the serving
+    migration path can distinguish a model-rollover mismatch from
+    corruption without parsing the message.
+    """
+
+    def __init__(self, message, expected=None, found=None):
+        super().__init__(message)
+        self.expected = expected
+        self.found = found
 
 
 def _file_sha256(path):
@@ -187,7 +202,11 @@ class ArtifactStore:
         if version != ARTIFACT_FORMAT_VERSION:
             raise StaleArtifactError(
                 f"artifact {name!r} has format_version={version}, this code "
-                f"reads version {ARTIFACT_FORMAT_VERSION}; retrain and re-save"
+                f"reads version {ARTIFACT_FORMAT_VERSION} "
+                f"(expected {ARTIFACT_FORMAT_VERSION}, found {version}); "
+                f"retrain and re-save",
+                expected=ARTIFACT_FORMAT_VERSION,
+                found=version,
             )
 
         for filename, recorded in manifest["checksums"].items():
@@ -218,14 +237,17 @@ class ArtifactStore:
             raise StaleArtifactError(
                 f"artifact {name!r} is stale: its fingerprint no longer "
                 f"matches the current schema/config for {dataset!r} "
-                f"(saved {manifest['fingerprint'][:12]}..., "
-                f"recomputed {recomputed[:12]}...); retrain and re-save"
+                f"(expected {recomputed}, found {manifest['fingerprint']}); "
+                f"retrain and re-save",
+                expected=recomputed,
+                found=manifest["fingerprint"],
             )
         if expected_fingerprint is not None and expected_fingerprint != recomputed:
             raise StaleArtifactError(
                 f"artifact {name!r} does not match the requested pipeline "
-                f"(artifact {recomputed[:12]}..., "
-                f"requested {expected_fingerprint[:12]}...)"
+                f"(expected {expected_fingerprint}, found {recomputed})",
+                expected=expected_fingerprint,
+                found=recomputed,
             )
 
         encoder = TabularEncoder.from_state(schema, manifest["encoder"])
@@ -308,7 +330,11 @@ class ArtifactStore:
         if version != ARTIFACT_FORMAT_VERSION:
             raise StaleArtifactError(
                 f"{label} state of {name!r} has format_version={version}, this "
-                f"code reads version {ARTIFACT_FORMAT_VERSION}; refit and re-save"
+                f"code reads version {ARTIFACT_FORMAT_VERSION} "
+                f"(expected {ARTIFACT_FORMAT_VERSION}, found {version}); "
+                f"refit and re-save",
+                expected=ARTIFACT_FORMAT_VERSION,
+                found=version,
             )
 
         npz_path = target / npz_name
@@ -335,14 +361,17 @@ class ArtifactStore:
             raise StaleArtifactError(
                 f"{label} state of {name!r} is stale: its fingerprint no "
                 f"longer matches the persisted state "
-                f"(saved {meta['fingerprint'][:12]}..., "
-                f"recomputed {recomputed[:12]}...); refit and re-save"
+                f"(expected {recomputed}, found {meta['fingerprint']}); "
+                f"refit and re-save",
+                expected=recomputed,
+                found=meta["fingerprint"],
             )
         if expected_fingerprint is not None and expected_fingerprint != recomputed:
             raise StaleArtifactError(
                 f"{label} state of {name!r} does not match the requested "
-                f"model (stored {recomputed[:12]}..., "
-                f"requested {expected_fingerprint[:12]}...)"
+                f"model (expected {expected_fingerprint}, found {recomputed})",
+                expected=expected_fingerprint,
+                found=recomputed,
             )
         return model
 
@@ -407,6 +436,35 @@ class ArtifactStore:
             encoder = TabularEncoder.from_state(schema, manifest["encoder"])
         model = causal_from_state(state, encoder)
         return self._check_overlay_fingerprint(name, model, meta, "causal", expected_fingerprint)
+
+    # -- ensemble state ------------------------------------------------------
+    def save_ensemble(self, name, ensemble):
+        """Persist a trained :class:`BlackBoxEnsemble` next to artifact ``name``.
+
+        Same overlay layout as :meth:`save_density` / :meth:`save_causal`:
+        member weight arrays in ``ensemble.npz``, scalars + fingerprint +
+        checksum in an ``ensemble.json`` sidecar written last.  The
+        serving rollover path keys its staleness decisions off this
+        sidecar's fingerprint.
+        """
+        return self._save_overlay(name, ensemble, "ensemble", _ENSEMBLE, _ENSEMBLE_META)
+
+    def has_ensemble(self, name):
+        """Whether artifact ``name`` carries persisted ensemble state."""
+        return (self.artifact_dir(name) / _ENSEMBLE_META).is_file()
+
+    def load_ensemble(self, name, expected_fingerprint=None):
+        """Rebuild the trained ensemble stored with ``name``.
+
+        Error contract matches :meth:`load_density` —
+        :class:`StaleArtifactError` (carrying ``expected``/``found``) on
+        version or fingerprint drift, :class:`ArtifactError` on
+        missing/corrupt files.
+        """
+        state, meta = self._load_overlay(name, "ensemble", _ENSEMBLE, _ENSEMBLE_META)
+        ensemble = BlackBoxEnsemble.from_state(state)
+        return self._check_overlay_fingerprint(
+            name, ensemble, meta, "ensemble", expected_fingerprint)
 
     # -- train-or-load ------------------------------------------------------
     def ensure(

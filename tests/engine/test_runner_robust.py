@@ -1,0 +1,213 @@
+"""Engine runner hosting an ensemble: cross-model scoring, the robust
+selection pool and the Table IV robustness columns."""
+
+import numpy as np
+import pytest
+
+from repro.core import FeasibleCFExplainer, fast_config
+from repro.data import load_dataset
+from repro.engine import CandidateBatch, CFStrategy, EngineRunner, build_strategy
+from repro.engine.runner import _select_candidates, _selection_pools
+from repro.models import train_ensemble
+
+
+class _SweepStrategy(CFStrategy):
+    """Deterministic strategy proposing a fixed noisy sweep."""
+
+    name = "sweep-probe"
+
+    def __init__(self, m=4, scale=0.1, seed=0):
+        self.m = m
+        self.scale = scale
+        self.seed = seed
+
+    def fit(self, x_train, y_train=None):
+        return self
+
+    def propose(self, x, desired=None):
+        x = np.asarray(x, dtype=np.float64)
+        if desired is None:
+            desired = np.zeros(len(x), dtype=int)
+        rng = np.random.default_rng(self.seed)
+        candidates = np.clip(
+            x[:, None, :] + rng.normal(0.0, self.scale, (len(x), self.m, x.shape[1])),
+            0.0, 1.0)
+        return CandidateBatch(x=x, desired=np.asarray(desired, dtype=int),
+                              candidates=candidates)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    bundle = load_dataset("adult", n_instances=1200, seed=3)
+    x_train, y_train = bundle.split("train")
+    explainer = FeasibleCFExplainer(
+        bundle.encoder, constraint_kind="unary",
+        config=fast_config(epochs=2), seed=3)
+    explainer.fit(x_train, y_train, blackbox_epochs=4)
+    ensemble = train_ensemble(
+        x_train, y_train, n_members=3, seed=3, epochs=4,
+        include=explainer.blackbox)
+    x_test, _ = bundle.split("test")
+    negatives = x_test[explainer.blackbox.predict(x_test) == 0][:16]
+    return bundle, explainer, ensemble, x_train, y_train, negatives
+
+
+#: One cheap fitting recipe per Table IV strategy family.
+STRATEGY_RECIPES = (
+    ("mahajan_unary", {"min_epochs": 2}),
+    ("revise", {"vae_epochs": 2, "steps": 10}),
+    ("cchvae", {"vae_epochs": 2, "n_candidates": 10, "max_radius": 1.0}),
+    ("cem", {"steps": 15}),
+    ("dice_random", {"max_attempts": 10}),
+    ("face", {}),
+)
+
+
+class TestCrossModelColumns:
+    def test_core_strategy_fills_both_columns(self, setup):
+        bundle, explainer, ensemble, x_train, _, negatives = setup
+        runner = EngineRunner(
+            bundle.encoder, explainer.blackbox, ensemble=ensemble)
+        report = runner.evaluate(
+            explainer.as_strategy(n_candidates=4,
+                                  rng=np.random.default_rng(0)),
+            negatives, x_train=x_train)
+        assert report.cross_model_validity is not None
+        assert 0.0 <= report.cross_model_validity <= 100.0
+        assert report.robust_validity is not None
+        assert 0.0 <= report.robust_validity <= 100.0
+
+    @pytest.mark.parametrize("method,params", STRATEGY_RECIPES)
+    def test_every_baseline_fills_both_columns(self, setup, method, params):
+        bundle, explainer, ensemble, x_train, y_train, negatives = setup
+        if "mahajan" in method:
+            params = dict(params, config=fast_config(epochs=2))
+        strategy = build_strategy(
+            method, bundle.encoder, explainer.blackbox, seed=3, **params)
+        strategy.fit(x_train, y_train)
+        runner = EngineRunner(
+            bundle.encoder, explainer.blackbox, ensemble=ensemble)
+        report = runner.evaluate(strategy, negatives, x_train=x_train)
+        assert report.cross_model_validity is not None
+        assert 0.0 <= report.cross_model_validity <= 100.0
+        assert report.robust_validity is not None
+
+    def test_plain_runner_leaves_columns_none(self, setup):
+        bundle, explainer, _, x_train, _, negatives = setup
+        runner = EngineRunner(bundle.encoder, explainer.blackbox)
+        report = runner.evaluate(_SweepStrategy(), negatives, x_train=x_train)
+        assert report.cross_model_validity is None
+        assert report.robust_validity is None
+
+
+class TestRobustDiagnostics:
+    def test_row_cross_validity_matches_direct_agreement(self, setup):
+        bundle, explainer, ensemble, _, _, negatives = setup
+        runner = EngineRunner(
+            bundle.encoder, explainer.blackbox, ensemble=ensemble)
+        result, diagnostics = runner.run(
+            _SweepStrategy(), negatives, return_diagnostics=True)
+        np.testing.assert_allclose(
+            diagnostics["row_cross_validity"],
+            ensemble.agreement(result.x_cf, result.desired))
+        np.testing.assert_array_equal(
+            diagnostics["row_robust"],
+            diagnostics["row_cross_validity"] >= runner.robust_quorum)
+        assert 0.0 <= diagnostics["candidate_robustness"] <= 1.0
+
+    def test_runner_without_ensemble_has_no_robust_diagnostics(self, setup):
+        bundle, explainer, _, _, _, negatives = setup
+        runner = EngineRunner(bundle.encoder, explainer.blackbox)
+        _, diagnostics = runner.run(
+            _SweepStrategy(), negatives, return_diagnostics=True)
+        assert "row_cross_validity" not in diagnostics
+        assert "row_robust" not in diagnostics
+
+    def test_single_candidate_batches_still_score(self, setup):
+        bundle, explainer, ensemble, _, _, negatives = setup
+        runner = EngineRunner(
+            bundle.encoder, explainer.blackbox, ensemble=ensemble)
+        _, diagnostics = runner.run(
+            _SweepStrategy(m=1), negatives, return_diagnostics=True)
+        assert diagnostics["row_cross_validity"].shape == (len(negatives),)
+
+    def test_density_and_ensemble_compose(self, setup):
+        from repro.density import KnnDensity
+
+        bundle, explainer, ensemble, x_train, _, negatives = setup
+        density = KnnDensity(k_neighbors=5).fit(x_train[:200])
+        runner = EngineRunner(
+            bundle.encoder, explainer.blackbox, density=density,
+            ensemble=ensemble)
+        _, diagnostics = runner.run(
+            _SweepStrategy(), negatives, return_diagnostics=True)
+        assert "row_density" in diagnostics
+        assert "row_cross_validity" in diagnostics
+
+
+class TestRobustSelection:
+    def test_quorum_validation(self, setup):
+        bundle, explainer, ensemble, _, _, _ = setup
+        for bad in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError, match="robust_quorum"):
+                EngineRunner(bundle.encoder, explainer.blackbox,
+                             ensemble=ensemble, robust_quorum=bad)
+        EngineRunner(bundle.encoder, explainer.blackbox,
+                     ensemble=ensemble, robust_quorum=1.0)
+
+    def test_pools_without_robust_are_the_historical_pair(self):
+        valid = np.array([[True, False]])
+        feasible = np.array([[True, True]])
+        pools = _selection_pools(valid, feasible)
+        assert len(pools) == 2
+        np.testing.assert_array_equal(pools[0], valid & feasible)
+        np.testing.assert_array_equal(pools[1], valid)
+
+    def test_robust_pool_is_prepended(self):
+        valid = np.array([[True, True]])
+        feasible = np.array([[True, True]])
+        robust = np.array([[False, True]])
+        pools = _selection_pools(valid, feasible, robust)
+        assert len(pools) == 3
+        np.testing.assert_array_equal(pools[0], valid & feasible & robust)
+
+    def test_robust_candidate_wins_over_closer_fragile_one(self):
+        # candidate 0 is closer but not robust; candidate 1 clears the
+        # quorum — the robust pool must override pure closeness
+        x = np.zeros((1, 3))
+        candidates = np.stack([
+            np.array([[0.1, 0.0, 0.0], [0.5, 0.5, 0.5]])])
+        valid = np.array([[True, True]])
+        feasible = np.array([[True, True]])
+        robust = np.array([[False, True]])
+        chosen = _select_candidates(x, candidates, valid, feasible,
+                                    robust=robust)
+        assert chosen[0] == 1
+        # without the robust signal the closer candidate wins
+        assert _select_candidates(x, candidates, valid, feasible)[0] == 0
+
+    def test_all_robust_matches_single_model_selection(self):
+        rng = np.random.default_rng(5)
+        n, m, d = 10, 6, 4
+        x = rng.random((n, d))
+        candidates = rng.random((n, m, d))
+        valid = rng.random((n, m)) < 0.5
+        feasible = rng.random((n, m)) < 0.6
+        all_robust = np.ones((n, m), dtype=bool)
+        np.testing.assert_array_equal(
+            _select_candidates(x, candidates, valid, feasible,
+                               robust=all_robust),
+            _select_candidates(x, candidates, valid, feasible))
+
+    def test_rows_without_robust_candidates_fall_back(self):
+        rng = np.random.default_rng(6)
+        n, m, d = 10, 6, 4
+        x = rng.random((n, d))
+        candidates = rng.random((n, m, d))
+        valid = rng.random((n, m)) < 0.5
+        feasible = rng.random((n, m)) < 0.6
+        no_robust = np.zeros((n, m), dtype=bool)
+        np.testing.assert_array_equal(
+            _select_candidates(x, candidates, valid, feasible,
+                               robust=no_robust),
+            _select_candidates(x, candidates, valid, feasible))

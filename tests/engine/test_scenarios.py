@@ -23,8 +23,10 @@ class TestRegistry:
         from repro.engine.scenarios import density_variants_for
 
         names = scenario_names()
+        n_robust_variants = 2  # +robust and +robust-knn
         per_dataset = sum(
             1 + len(density_variants_for(strategy)) + len(CAUSAL_NAMES)
+            + n_robust_variants
             for strategy in STRATEGY_NAMES)
         assert len(names) == len(dataset_names()) * per_dataset
         for dataset in dataset_names():
@@ -34,6 +36,8 @@ class TestRegistry:
                     assert f"{dataset}/{strategy}+{density}" in names
                 for causal in CAUSAL_NAMES:
                     assert f"{dataset}/{strategy}+{causal}" in names
+                assert f"{dataset}/{strategy}+robust" in names
+                assert f"{dataset}/{strategy}+robust-knn" in names
 
     def test_grid_holds_the_causal_acceptance_floor(self):
         # the issue's acceptance bar: >= 140 entries with +scm variants
@@ -44,17 +48,39 @@ class TestRegistry:
             for strategy in STRATEGY_NAMES:
                 assert f"{dataset}/{strategy}+scm" in names
 
+    def test_grid_holds_the_robust_acceptance_floor(self):
+        # the robustness issue's acceptance bar: ~190 entries with
+        # ensemble-hosting +robust variants for every dataset x strategy
+        from repro.engine import DEFAULT_ENSEMBLE_SIZE
+
+        names = scenario_names()
+        assert len(names) >= 190
+        for dataset in dataset_names():
+            for strategy in STRATEGY_NAMES:
+                scenario = get_scenario(f"{dataset}/{strategy}+robust")
+                assert scenario.ensemble == DEFAULT_ENSEMBLE_SIZE
+                assert get_scenario(
+                    f"{dataset}/{strategy}+robust-knn").density == "knn"
+
     def test_filters(self):
-        adult = list(iter_scenarios(dataset="adult", density=None, causal=None))
+        adult = list(iter_scenarios(
+            dataset="adult", density=None, causal=None, ensemble=0))
         assert len(adult) == len(STRATEGY_NAMES)
-        face = list(iter_scenarios(strategy="face", density=None, causal=None))
+        face = list(iter_scenarios(
+            strategy="face", density=None, causal=None, ensemble=0))
         assert {s.dataset for s in face} == set(dataset_names())
-        knn = list(iter_scenarios(dataset="adult", density="knn"))
+        knn = list(iter_scenarios(dataset="adult", density="knn", ensemble=0))
         assert len(knn) == len(STRATEGY_NAMES)
         assert all(s.density == "knn" for s in knn)
         scm = list(iter_scenarios(dataset="adult", causal="scm"))
         assert len(scm) == len(STRATEGY_NAMES)
         assert all(s.causal == "scm" for s in scm)
+        from repro.engine import DEFAULT_ENSEMBLE_SIZE
+
+        robust = list(iter_scenarios(
+            dataset="adult", ensemble=DEFAULT_ENSEMBLE_SIZE))
+        assert len(robust) == 2 * len(STRATEGY_NAMES)
+        assert all(s.ensemble == DEFAULT_ENSEMBLE_SIZE for s in robust)
 
     def test_get_unknown_raises(self):
         with pytest.raises(KeyError, match="unknown scenario"):

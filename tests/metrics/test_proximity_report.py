@@ -127,6 +127,33 @@ class TestEvaluateCounterfactuals:
                 "probe", x_train[:5], x_train[:5], np.zeros(5, dtype=int),
                 blackbox, bundle.encoder)
 
+    def test_robustness_columns_default_to_none(self, setup):
+        bundle, blackbox, x_train, stats = setup
+        report = evaluate_counterfactuals(
+            "probe", x_train[:5], x_train[:5].copy(), np.zeros(5, dtype=int),
+            blackbox, bundle.encoder, stats=stats)
+        assert report.cross_model_validity is None
+        assert report.robust_validity is None
+
+    def test_robustness_columns_fill_from_scores(self, setup):
+        bundle, blackbox, x_train, stats = setup
+        report = evaluate_counterfactuals(
+            "probe", x_train[:4], x_train[:4].copy(), np.zeros(4, dtype=int),
+            blackbox, bundle.encoder, stats=stats,
+            cross_model_scores=np.array([1.0, 0.5, 0.75, 0.25]),
+            robust_flags=np.array([True, False, True, False]))
+        assert report.cross_model_validity == pytest.approx(62.5)
+        assert report.robust_validity == pytest.approx(50.0)
+
+    def test_robustness_columns_empty_batch_is_zero(self, setup):
+        bundle, blackbox, x_train, stats = setup
+        report = evaluate_counterfactuals(
+            "probe", x_train[:0], x_train[:0].copy(),
+            np.zeros(0, dtype=int), blackbox, bundle.encoder, stats=stats,
+            cross_model_scores=np.zeros(0), robust_flags=np.zeros(0, bool))
+        assert report.cross_model_validity == 0.0
+        assert report.robust_validity == 0.0
+
     def test_as_row_layout(self, setup):
         bundle, blackbox, x_train, stats = setup
         report = evaluate_counterfactuals(

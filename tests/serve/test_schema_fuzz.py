@@ -1,20 +1,24 @@
 """Randomized schema-fuzz: malformed requests must raise SchemaMismatchError.
 
-Seeded ``np.random.Generator`` fuzzing of the three batch surfaces —
-``EngineRunner.run``, ``ExplanationService.explain_batch`` and
-``CausalModel.repair_batch`` — with wrong-width, wrong-dtype and
-NaN/inf-bearing inputs.  Every case must fail with
+Seeded ``np.random.Generator`` fuzzing of the batch surfaces —
+``EngineRunner.run``, ``ExplanationService.explain_batch`` (plain and
+ensemble-hosting) and ``CausalModel.repair_batch`` — with wrong-width,
+wrong-dtype and NaN/inf-bearing inputs.  Every case must fail with
 :class:`SchemaMismatchError` (the schema-contract error, a ``ValueError``
 subclass), never with a raw numpy broadcasting/conversion message from
-deep inside a matmul.
+deep inside a matmul.  A second fuzzer corrupts persisted ensemble
+artifacts on disk and pins every failure to the store's
+``ArtifactError`` family.
 """
+
+import json
 
 import numpy as np
 import pytest
 
 from repro.causal import ScmCausalModel
 from repro.engine import CoreCFStrategy, EngineRunner
-from repro.serve import ExplanationService
+from repro.serve import ArtifactError, ArtifactStore, ExplanationService
 from repro.utils.validation import SchemaMismatchError
 
 N_TRIALS = 25
@@ -109,6 +113,65 @@ def test_wrong_ndim_stays_a_plain_shape_error(surfaces):
     with pytest.raises(ValueError) as excinfo:
         causal.repair_batch(x, x)  # 2-D where a 3-D sweep is required
     assert not isinstance(excinfo.value, SchemaMismatchError)
+
+
+def test_robust_service_rejects_fuzzed_rows(surfaces):
+    # the ensemble-hosting serving path validates before any K-model
+    # scoring: the fused GEMM must never see a malformed batch
+    from repro.models import train_ensemble
+
+    pipeline, _, _, _, _ = surfaces
+    x_train, y_train = pipeline.bundle.split("train")
+    ensemble = train_ensemble(x_train, y_train, n_members=2, seed=0, epochs=1)
+    service = ExplanationService(pipeline, ensemble=ensemble)
+    rng = np.random.default_rng(SEED + 4)
+    for _ in range(N_TRIALS):
+        rows, mode = corrupt_rows(rng, pipeline.encoder.n_encoded)
+        with pytest.raises(SchemaMismatchError):
+            service.explain_batch(rows)
+
+
+def corrupt_ensemble_artifact(rng, target):
+    """Apply one randomized corruption to a saved ensemble overlay."""
+    npz_path = target / "ensemble.npz"
+    meta_path = target / "ensemble.json"
+    mode = rng.choice(["npz_garbage", "npz_truncate", "npz_missing",
+                       "meta_garbage", "meta_version", "meta_state"])
+    if mode == "npz_garbage":
+        npz_path.write_bytes(rng.bytes(int(rng.integers(1, 64))))
+    elif mode == "npz_truncate":
+        npz_path.write_bytes(npz_path.read_bytes()[: int(rng.integers(0, 40))])
+    elif mode == "npz_missing":
+        npz_path.unlink()
+    elif mode == "meta_garbage":
+        meta_path.write_text("{mithril" + "}" * int(rng.integers(0, 3)))
+    elif mode == "meta_version":
+        meta = json.loads(meta_path.read_text())
+        meta["format_version"] = int(rng.integers(100, 1000))
+        meta_path.write_text(json.dumps(meta))
+    else:
+        meta = json.loads(meta_path.read_text())
+        meta["state"]["seed"] = int(rng.integers(1000, 2000))
+        meta_path.write_text(json.dumps(meta))
+    return mode
+
+
+def test_corrupted_ensemble_artifacts_fail_structured(surfaces, tmp_path):
+    # every on-disk corruption surfaces as the store's error family
+    # (StaleArtifactError included), never a raw numpy/zipfile/KeyError
+    from repro.models import train_ensemble
+
+    pipeline, _, _, _, _ = surfaces
+    x_train, y_train = pipeline.bundle.split("train")
+    ensemble = train_ensemble(x_train, y_train, n_members=2, seed=0, epochs=1)
+    rng = np.random.default_rng(SEED + 5)
+    for trial in range(N_TRIALS):
+        store = ArtifactStore(tmp_path / f"fuzz{trial}")
+        store.save(pipeline, name="tiny")
+        store.save_ensemble("tiny", ensemble)
+        corrupt_ensemble_artifact(rng, store.artifact_dir("tiny"))
+        with pytest.raises(ArtifactError):
+            store.load_ensemble("tiny")
 
 
 def test_fuzz_never_mutates_service_state(surfaces):

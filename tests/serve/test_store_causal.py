@@ -129,8 +129,9 @@ class TestCausalAwareServing:
         model = fitted_causal(pipeline)
         plain = ExplanationService(pipeline)
         causal = ExplanationService(pipeline, causal=model)
-        assert plain.cache_fingerprint.endswith(":none:none")
-        assert causal.cache_fingerprint.endswith(f":none:{model.fingerprint()}")
+        assert plain.cache_fingerprint.endswith(":none:none:none")
+        assert causal.cache_fingerprint.endswith(
+            f":none:{model.fingerprint()}:none")
         assert plain.cache_fingerprint != causal.cache_fingerprint
 
     def test_repointing_causal_refreshes_fingerprint_and_runner(self, saved):

@@ -94,8 +94,9 @@ class TestDensityAwareServing:
         model = KnnDensity(k_neighbors=5).fit(reference)
         plain = ExplanationService(pipeline)
         dense = ExplanationService(pipeline, density=model)
-        assert plain.cache_fingerprint.endswith(":none:none")
-        assert dense.cache_fingerprint.endswith(f":{model.fingerprint()}@w1.0:none")
+        assert plain.cache_fingerprint.endswith(":none:none:none")
+        assert dense.cache_fingerprint.endswith(
+            f":{model.fingerprint()}@w1.0:none:none")
         assert plain.cache_fingerprint != dense.cache_fingerprint
 
     def test_repointing_density_refreshes_fingerprint_and_runner(self, trained):

@@ -142,6 +142,26 @@ class TestExecution:
         assert "adult/face+knn" in out
         assert "adult/face+kde" in out
 
+    def test_run_scenario_robust_variant(self, capsys, tmp_path):
+        code = main(["run-scenario", "--scenario", "adult/dice_random",
+                     "--ensemble", "2", "--scale", "smoke",
+                     "--out", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SCENARIO adult/dice_random+robust" in out
+        assert "cross-model validity (%)" in out
+        assert "robust validity (%)" in out
+        assert (tmp_path / "scenario_adult_dice_random+robust.txt").exists()
+
+    def test_serve_demo_with_ensemble(self, capsys, tmp_path):
+        code = main(["serve-demo", "--scale", "smoke", "--rows", "16",
+                     "--artifact-dir", str(tmp_path / "store"),
+                     "--ensemble", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fit + persist ensemble" in out
+        assert "K2 ensemble" in out
+
 
 class TestParserModelFlags:
     def test_causal_default_and_choices(self):
@@ -159,6 +179,18 @@ class TestParserModelFlags:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run-scenario", "--density", "voronoi"])
 
+    def test_ensemble_default_and_value(self):
+        assert build_parser().parse_args(["run-scenario"]).ensemble is None
+        parsed = build_parser().parse_args(
+            ["run-scenario", "--ensemble", "4"])
+        assert parsed.ensemble == 4
+        assert build_parser().parse_args(
+            ["serve-demo", "--ensemble", "3"]).ensemble == 3
+
+    def test_rejects_non_integer_ensemble(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run-scenario", "--ensemble", "many"])
+
 
 class TestListScenariosLayout:
     def metric_rows(self, capsys, argv):
@@ -171,7 +203,7 @@ class TestListScenariosLayout:
         out, block = self.metric_rows(capsys, ["list-scenarios", "--strategy", "face"])
         header = table_cells(block[1])
         assert header == ["scenario", "dataset", "strategy", "kind",
-                          "desired", "density", "causal"]
+                          "desired", "density", "causal", "robust"]
         # every data row has exactly one cell per column
         for row in block[3:]:
             assert len(table_cells(row)) == len(header)
@@ -179,10 +211,12 @@ class TestListScenariosLayout:
     def test_variant_rows_fill_the_right_column(self, capsys):
         out, block = self.metric_rows(capsys, ["list-scenarios", "--strategy", "face"])
         rows = {table_cells(row)[0]: table_cells(row) for row in block[3:]}
-        assert rows["adult/face"][5:] == ["-", "-"]
-        assert rows["adult/face+knn"][5:] == ["knn", "-"]
-        assert rows["adult/face+scm"][5:] == ["-", "scm"]
-        assert rows["adult/face+mined"][5:] == ["-", "mined"]
+        assert rows["adult/face"][5:] == ["-", "-", "-"]
+        assert rows["adult/face+knn"][5:] == ["knn", "-", "-"]
+        assert rows["adult/face+scm"][5:] == ["-", "scm", "-"]
+        assert rows["adult/face+mined"][5:] == ["-", "mined", "-"]
+        assert rows["adult/face+robust"][5:] == ["-", "-", "K4"]
+        assert rows["adult/face+robust-knn"][5:] == ["knn", "-", "K4"]
 
     def test_title_counts_the_rows(self, capsys):
         out, block = self.metric_rows(capsys, ["list-scenarios", "--strategy", "face"])

@@ -21,7 +21,7 @@ def gate():
 
 def _results(train=100.0, predict=1000.0, candidates=500.0,
              constraint_eval=2000.0, scenarios=50.0, density=300.0,
-             causal=700.0):
+             causal=700.0, robust=400.0):
     return {
         "train": {"rows_per_sec": train},
         "predict": {"rows_per_sec": predict},
@@ -30,6 +30,7 @@ def _results(train=100.0, predict=1000.0, candidates=500.0,
         "scenario_matrix": {"min_rows_per_sec": scenarios},
         "density": {"rows_per_sec": density},
         "causal": {"rows_per_sec": causal},
+        "robust": {"rows_per_sec": robust},
     }
 
 
@@ -37,7 +38,7 @@ class TestCompare:
     def test_no_regression_passes(self, gate):
         rows, failures = gate.compare(_results(), _results(predict=990.0))
         assert failures == []
-        assert len(rows) == 7
+        assert len(rows) == 8
 
     def test_density_is_gated(self, gate):
         _, failures = gate.compare(_results(), _results(density=10.0))
@@ -48,6 +49,11 @@ class TestCompare:
         _, failures = gate.compare(_results(), _results(causal=10.0))
         assert len(failures) == 1
         assert "causal" in failures[0]
+
+    def test_robust_is_gated(self, gate):
+        _, failures = gate.compare(_results(), _results(robust=10.0))
+        assert len(failures) == 1
+        assert "robust" in failures[0]
 
     def test_constraint_eval_is_gated(self, gate):
         _, failures = gate.compare(_results(), _results(constraint_eval=100.0))
@@ -66,11 +72,13 @@ class TestCompare:
         del old["scenario_matrix"]
         del old["density"]
         del old["causal"]
+        del old["robust"]
         rows, failures = gate.compare(old, _results())
         assert failures == []
         skipped = [r for r in rows if r[2] != r[2]]  # NaN baseline
         assert {r[0] for r in skipped} == {
-            "constraint_eval", "scenario_matrix", "density", "causal"}
+            "constraint_eval", "scenario_matrix", "density", "causal",
+            "robust"}
         markdown = gate.render_markdown(rows, 0.30)
         assert "no baseline" in markdown
 
