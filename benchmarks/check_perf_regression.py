@@ -36,6 +36,7 @@ GATED_METRICS = {
     "density": "rows_per_sec",
     "causal": "rows_per_sec",
     "robust": "rows_per_sec",
+    "plan": "rows_per_sec",
 }
 
 #: Reported in the table but never failing: training throughput and the

@@ -33,8 +33,6 @@ registry, the CLI and the serving layer call.
 
 from __future__ import annotations
 
-import hashlib
-import json
 from abc import ABC, abstractmethod
 
 import numpy as np
@@ -203,21 +201,15 @@ class CausalModel(ABC):
     def fingerprint(self):
         """Deterministic hash of the fitted state, for caches and the store.
 
-        Arrays are hashed by content, scalars canonically JSON-encoded —
-        the exact contract of ``DensityModel.fingerprint``, so the store
-        and service treat causal staleness identically to density
-        staleness.
+        Delegates to the shared :func:`repro.serve.persist.fingerprint_state`
+        contract (arrays hashed by content, scalars canonically
+        JSON-encoded) — the exact contract of
+        ``DensityModel.fingerprint``, so the store and service treat
+        causal staleness identically to density staleness.
         """
-        payload = {}
-        for key, value in self._fingerprint_state().items():
-            if key in self.fingerprint_excludes:
-                continue
-            if isinstance(value, np.ndarray):
-                payload[key] = hashlib.sha256(np.ascontiguousarray(value).tobytes()).hexdigest()
-            else:
-                payload[key] = value
-        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+        from ..serve.persist import fingerprint_state
+
+        return fingerprint_state(self._fingerprint_state(), self.fingerprint_excludes)
 
 
 def build_causal(name, encoder, **kwargs):

@@ -76,6 +76,18 @@ def build_parser():
                              "trains the ensemble, persists it to the "
                              "artifact store and serves robust-aware from "
                              "the warm start")
+    parser.add_argument("--engine", default=None,
+                        choices=["staged", "plan"],
+                        help="run-scenario execution path: 'staged' runs the "
+                             "classic stage-by-stage EngineRunner chain, "
+                             "'plan' compiles it into an ExplainPlan and "
+                             "replays it fused (default: plan exactly when "
+                             "the scenario has a non-default backend "
+                             "assigned)")
+    parser.add_argument("--backend", default=None,
+                        help="plan backend for run-scenario --engine plan "
+                             "(e.g. numpy, float32; default: the scenario's "
+                             "assigned backend)")
     return parser
 
 
@@ -202,7 +214,7 @@ def _run_serve_demo(dataset, scale, seed, out_dir, artifact_dir, rows,
         model = fit_class_density(
             density_name, x_train, y_train, bundle.schema.desired_class,
             vae=pipeline.explainer.generator.vae)
-        store.save_density(name, model)
+        store.save_overlay(name, "density", model)
         density = "store"  # prove the round trip: serve from disk state
         fit_density_seconds = time.perf_counter() - start
 
@@ -214,7 +226,7 @@ def _run_serve_demo(dataset, scale, seed, out_dir, artifact_dir, rows,
         start = time.perf_counter()
         x_train, y_train = bundle.split("train")
         model = fit_causal(causal_name, pipeline.encoder, x_train, y_train)
-        store.save_causal(name, model)
+        store.save_overlay(name, "causal", model)
         causal = "store"  # prove the round trip: serve from disk state
         fit_causal_seconds = time.perf_counter() - start
 
@@ -230,14 +242,19 @@ def _run_serve_demo(dataset, scale, seed, out_dir, artifact_dir, rows,
             x_train, y_train, n_members=ensemble_size, seed=seed,
             epochs=get_scale(scale).blackbox_epochs,
             include=pipeline.blackbox)
-        store.save_ensemble(name, model)
+        store.save_overlay(name, "ensemble", model)
         ensemble = "store"  # prove the round trip: serve from disk state
         fit_ensemble_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
+    overlays = {
+        kind: spec
+        for kind, spec in (("density", density), ("causal", causal),
+                           ("ensemble", ensemble))
+        if spec is not None
+    }
     service = ExplanationService.warm_start(
-        store, name, strategy=strategy, density=density, causal=causal,
-        ensemble=ensemble)
+        store, name, strategy=strategy, overlays=overlays)
     result = service.explain_batch(batch)
     warm_seconds = time.perf_counter() - start
 
@@ -280,7 +297,7 @@ def _run_serve_demo(dataset, scale, seed, out_dir, artifact_dir, rows,
 
 
 def _run_scenario(scenario_name, scale, seed, out_dir, density=None,
-                  causal=None, ensemble=None):
+                  causal=None, ensemble=None, engine=None, backend=None):
     """Run one registered scenario and print its Table IV-style row.
 
     ``density`` / ``causal`` switch to the scenario's ``+<model>``
@@ -288,7 +305,9 @@ def _run_scenario(scenario_name, scale, seed, out_dir, density=None,
     registered, e.g. ``latent`` on a baseline — which then fails with
     the registry's clear error instead of a silent fallback).
     ``ensemble`` switches to the ``+robust`` variant, resized to K
-    members when K differs from the registered default.
+    members when K differs from the registered default.  ``engine`` /
+    ``backend`` pick the execution path (staged chain vs compiled
+    :class:`repro.engine.ExplainPlan`) and the plan backend.
     """
     import dataclasses
 
@@ -313,7 +332,8 @@ def _run_scenario(scenario_name, scale, seed, out_dir, density=None,
             scenario = dataclasses.replace(scenario, name=variant)
     if ensemble is not None and scenario.ensemble != ensemble:
         scenario = dataclasses.replace(scenario, ensemble=ensemble)
-    result = run_scenario(scenario, scale=scale, seed=seed)
+    result = run_scenario(scenario, scale=scale, seed=seed, engine=engine,
+                          backend=backend)
     report = result.report
     rows = [
         ["validity", report.validity],
@@ -393,7 +413,8 @@ def main(argv=None):
             return 2
         _run_scenario(args.scenario, args.scale, args.seed, out_dir,
                       density=args.density, causal=args.causal,
-                      ensemble=args.ensemble)
+                      ensemble=args.ensemble, engine=args.engine,
+                      backend=args.backend)
     if args.command == "list-scenarios":
         _run_list_scenarios(args.strategy, out_dir)
     if args.command == "all":

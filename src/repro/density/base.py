@@ -28,8 +28,6 @@ runner, the scenario registry and the serving layer call.
 
 from __future__ import annotations
 
-import hashlib
-import json
 from abc import ABC, abstractmethod
 
 import numpy as np
@@ -109,20 +107,14 @@ class DensityModel(ABC):
     def fingerprint(self):
         """Deterministic hash of the fitted state, for caches and the store.
 
-        Arrays are hashed by content, scalars canonically JSON-encoded,
-        so two estimators agree exactly when they would produce the same
-        scores.
+        Delegates to the shared :func:`repro.serve.persist.fingerprint_state`
+        contract (arrays hashed by content, scalars canonically
+        JSON-encoded), so two estimators agree exactly when they would
+        produce the same scores.
         """
-        payload = {}
-        for key, value in self.get_state().items():
-            if key in self.fingerprint_excludes:
-                continue
-            if isinstance(value, np.ndarray):
-                payload[key] = hashlib.sha256(np.ascontiguousarray(value).tobytes()).hexdigest()
-            else:
-                payload[key] = value
-        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+        from ..serve.persist import fingerprint_state
+
+        return fingerprint_state(self.get_state(), self.fingerprint_excludes)
 
 
 def _check_3d(candidates):

@@ -141,12 +141,27 @@ class EngineRunner:
         except ValueError:
             return list(range(len(self.kernel)))
 
+    # -- compiled plans -----------------------------------------------------
+    def compile(self, strategy, backend="numpy"):
+        """Trace the fixed chain for ``strategy`` into an :class:`ExplainPlan`.
+
+        The plan resolves the constraint flag columns and lets the
+        backend prepare once, then replays the whole pipeline as a
+        single fused sweep per :meth:`ExplainPlan.execute` call.  The
+        default ``"numpy"`` backend is bit-identical to the staged
+        :meth:`run` path (the parity reference); ``"float32"`` streams
+        contiguous tiles with a float32 validity GEMM.
+        """
+        from .plan import ExplainPlan
+
+        return ExplainPlan(self, strategy, backend=backend)
+
     # -- core pipeline ------------------------------------------------------
     def project(self, x, candidates):
         """Immutable projection over a full ``(n, m, d)`` candidate batch."""
         return self.projector.project(x, candidates)
 
-    def run(self, strategy, x, desired=None, return_diagnostics=False):
+    def run(self, strategy, x, desired=None, return_diagnostics=False, plan=None):
         """Explain ``x`` with ``strategy``; returns a :class:`CFBatchResult`.
 
         One strategy proposal, one broadcast projection, one validity
@@ -155,8 +170,20 @@ class EngineRunner:
         batches are reduced to one counterfactual per row by the serving
         selection policy: closest by L1 among valid & feasible, then
         valid-only, then the first (deterministic) candidate.
+
+        ``plan`` routes the request through a compiled
+        :class:`ExplainPlan` (from :meth:`compile`) instead of the
+        staged chain; ``strategy`` may then be ``None`` (the plan
+        carries its own) but must otherwise be the compiled strategy.
         """
         from ..utils.validation import check_encoded_rows
+
+        if plan is not None:
+            if plan.runner is not self:
+                raise ValueError("plan was compiled against a different runner")
+            if strategy is not None and plan.strategy is not strategy:
+                raise ValueError("plan was compiled for a different strategy instance")
+            return plan.execute(x, desired, return_diagnostics=return_diagnostics)
 
         x = check_encoded_rows(x, self.encoder, "x")
         batch = strategy.propose(x, desired)
@@ -262,6 +289,7 @@ class EngineRunner:
         x_train=None,
         report_kinds=("unary", "binary"),
         method_name=None,
+        plan=None,
     ):
         """Fit-free evaluation: one engine run scored as a Table IV row.
 
@@ -271,10 +299,14 @@ class EngineRunner:
         kernel pass instead of re-evaluating the scored rows.  A hosted
         density model additionally fills the report's
         ``mean_knn_distance`` column from the run's own density scores.
+        ``plan`` scores through a compiled :class:`ExplainPlan` instead
+        of the staged chain (same report, bit for bit on the default
+        backend).
         """
         from ..metrics import evaluate_counterfactuals
 
-        result, diagnostics = self.run(strategy, x, desired, return_diagnostics=True)
+        result, diagnostics = self.run(
+            strategy, x, desired, return_diagnostics=True, plan=plan)
         report = diagnostics["report"]
         m = diagnostics["n_candidates"]
         if m > 1:

@@ -43,6 +43,17 @@ about ("as fast as the hardware allows"):
   advantage.  Hard predictions are asserted bit-identical (logits agree
   to BLAS-blocking precision) before timing and the fused path must
   hold a >= 3x speedup.
+* **plan** — the compiled :class:`repro.engine.ExplainPlan`
+  (:meth:`repro.engine.EngineRunner.compile`: the fixed
+  project/repair/validity/feasibility/select chain traced once and
+  replayed as one fused sweep) against the per-request staged chain a
+  pre-plan serving stack runs (one ``EngineRunner.run`` call per row).
+  The workload is the C-CHVAE serving shape — a fixed 40-candidate
+  sweep per row with a hosted SCM causal model and k-NN density — and
+  the compiled path is asserted bit-identical to the batched staged
+  path before timing and must hold a >= 3x speedup over the
+  per-request chain; the tiled float32 backend rides along as an
+  informational rate.
 * **density** — the batched density-aware selection
   (:meth:`repro.core.DensityCFSelector.select_batch`: ONE tiled density
   query + one vectorized score pass for the whole sweep) against the
@@ -77,8 +88,8 @@ from ..data import load_dataset
 from ..models import BlackBoxClassifier, train_classifier
 
 __all__ = ["MIN_CAUSAL_SPEEDUP", "MIN_DENSITY_SPEEDUP", "MIN_KERNEL_SPEEDUP",
-           "MIN_ROBUST_SPEEDUP", "PERF_SCALES", "PRE_PR_BASELINE",
-           "run_perfbench", "write_bench"]
+           "MIN_PLAN_SPEEDUP", "MIN_ROBUST_SPEEDUP", "PERF_SCALES",
+           "PRE_PR_BASELINE", "run_perfbench", "write_bench"]
 
 #: Acceptance floor: the compiled feasibility kernel must beat the
 #: per-constraint loop evaluator by at least this factor (the single
@@ -97,6 +108,11 @@ MIN_CAUSAL_SPEEDUP = 3.0
 #: per-member prediction loop by at least this factor at the
 #: serving-request batch shape.
 MIN_ROBUST_SPEEDUP = 3.0
+
+#: Acceptance floor: the compiled explain plan must beat the
+#: per-request staged chain by at least this factor on the C-CHVAE
+#: serving workload.
+MIN_PLAN_SPEEDUP = 3.0
 
 #: Workload definitions.  ``smoke`` finishes in well under a minute and is
 #: what CI runs; ``full`` is for local trajectory tracking.
@@ -120,6 +136,8 @@ PERF_SCALES = {
         "causal_candidates": 16,
         "robust_members": 8,
         "robust_batch": 16,
+        "plan_rows": 48,
+        "plan_candidates": 40,
         "min_seconds": 1.0,
     },
     "full": {
@@ -141,6 +159,8 @@ PERF_SCALES = {
         "causal_candidates": 16,
         "robust_members": 8,
         "robust_batch": 16,
+        "plan_rows": 96,
+        "plan_candidates": 40,
         "min_seconds": 1.5,
     },
 }
@@ -493,6 +513,142 @@ def _robust_section(bundle, spec, min_seconds, seed):
     }
 
 
+class _FixedSweepStrategy:
+    """Bench strategy replaying a fixed per-row candidate sweep.
+
+    The C-CHVAE growing-sphere search proposes through one sequential
+    RNG, which makes its *propose* stage inherently per-request; what a
+    plan can fuse is everything downstream of proposal.  This strategy
+    pins exactly that workload: a precomputed ``(m, d)`` sweep per row,
+    looked up by row bytes, so propose is O(1) and the timed difference
+    between the compiled and per-request paths is the chain itself
+    (projection, causal repair, validity, feasibility, selection) — not
+    proposal cost.
+    """
+
+    name = "fixed_sweep"
+
+    def __init__(self, sweeps):
+        self._sweeps = {row.tobytes(): sweep for row, sweep in sweeps}
+
+    def fit(self, x_train, y_train=None):
+        return self
+
+    def propose(self, x, desired=None):
+        from ..engine import CandidateBatch
+
+        candidates = np.stack([self._sweeps[row.tobytes()] for row in x])
+        return CandidateBatch(x, np.asarray(desired, dtype=int), candidates)
+
+    def describe(self):
+        return {"class": type(self).__name__, "name": self.name,
+                "rows": len(self._sweeps)}
+
+    def fingerprint(self):
+        import hashlib
+        import json as _json
+
+        canonical = _json.dumps(self.describe(), sort_keys=True,
+                                separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def _plan_section(explainer, bundle, spec, min_seconds, seed):
+    """Time the compiled explain plan against the per-request staged chain.
+
+    The workload is the C-CHVAE serving shape: ``plan_rows`` requests,
+    each carrying a fixed ``plan_candidates``-candidate sweep (the
+    baseline's ``n_candidates=40`` matrix shape), answered by a runner
+    hosting the dataset's SCM causal model — so every request runs the
+    full projection + causal repair + validity + feasibility +
+    selection chain.  The loop reference issues one staged
+    ``EngineRunner.run`` per request, exactly the pre-plan serving
+    shape; the compiled path replays ONE fused ``ExplainPlan.execute``
+    over the whole batch.  A density estimator is deliberately NOT
+    hosted here: the k-NN query costs per *point* (cKDTree), so it
+    neither amortises across requests nor measures what the plan fuses
+    — its batched-vs-loop story is the gated ``density`` section.
+
+    The compiled path is asserted bit-identical to the *batched* staged
+    path before timing (the plan's parity contract; the parity suite
+    pins it per strategy and dataset).  Per-request staged results are
+    additionally sanity-checked to agree on nearly every row — they may
+    drift from the batch on selection near-ties because the validity
+    GEMM's BLAS blocking changes with batch shape, the same caveat every
+    batched-vs-loop section documents.  The compiled path must hold the
+    3x acceptance floor; the tiled float32 backend rides along as an
+    informational rate.
+    """
+    from ..causal import ScmCausalModel
+    from ..engine import EngineRunner
+
+    n = spec["plan_rows"]
+    m = spec["plan_candidates"]
+    x = np.ascontiguousarray(bundle.encoded[:n])
+    rng = np.random.default_rng(seed + 1300)
+    sweep = np.clip(
+        x[:, None, :] + rng.normal(0.0, 0.08, (n, m, x.shape[1])), 0.0, 1.0)
+    strategy = _FixedSweepStrategy(zip(x, sweep))
+    desired = 1 - explainer.blackbox.predict(x)
+
+    x_train, _ = bundle.split("train")
+    causal = ScmCausalModel(bundle.encoder).fit(x_train)
+    runner = EngineRunner(bundle.encoder, explainer.blackbox, causal=causal)
+    plan = runner.compile(strategy)
+
+    result_staged = runner.run(strategy, x, desired)
+    result_plan = plan.execute(x, desired)
+    for field in ("x_cf", "predicted", "valid", "feasible"):
+        if not np.array_equal(getattr(result_plan, field),
+                              getattr(result_staged, field)):
+            raise AssertionError(
+                f"compiled plan diverges from the staged chain on {field}")
+
+    def staged_requests():
+        parts = [
+            runner.run(strategy, x[i:i + 1], desired[i:i + 1]).x_cf
+            for i in range(n)
+        ]
+        return np.concatenate(parts)
+
+    per_request_cf = staged_requests()
+    row_match = float((per_request_cf == result_staged.x_cf).all(axis=1).mean())
+    if row_match < 0.9:
+        raise AssertionError(
+            f"per-request staged chain agrees with the batch on only "
+            f"{row_match:.0%} of rows — more than near-tie drift")
+
+    loop_rate, loop_calls = _throughput(staged_requests, n, min_seconds)
+    fast_rate, fast_calls = _throughput(
+        lambda: plan.execute(x, desired), n, min_seconds)
+    speedup = fast_rate / loop_rate
+    if speedup < MIN_PLAN_SPEEDUP:
+        raise AssertionError(
+            f"compiled plan speedup {speedup:.2f}x over the per-request "
+            f"staged chain is below the {MIN_PLAN_SPEEDUP}x floor")
+
+    plan32 = runner.compile(strategy, backend="float32")
+    if not np.array_equal(plan32.execute(x, desired).predicted,
+                          result_staged.predicted):
+        raise AssertionError(
+            "float32 plan backend changed hard validity predictions")
+    f32_rate, _ = _throughput(
+        lambda: plan32.execute(x, desired), n, min_seconds)
+
+    return {
+        "rows": n,
+        "n_candidates": m,
+        "stages": [stage.name for stage in plan.stages],
+        "rows_per_sec": round(fast_rate, 1),
+        "rows_per_sec_loop": round(loop_rate, 1),
+        "candidates_per_sec": round(fast_rate * m, 1),
+        "speedup_compiled_vs_requests": round(speedup, 2),
+        "per_request_row_agreement": round(row_match, 4),
+        "float32_rows_per_sec": round(f32_rate, 1),
+        "calls": fast_calls + loop_calls,
+    }
+
+
 def _serve_section(spec, seed):
     """Time cold-start vs warm-start serving on the bench workload.
 
@@ -545,10 +701,10 @@ def _serve_section(spec, seed):
         density = fit_class_density(
             "knn", x_train, y_train, pipeline.bundle.schema.desired_class,
             k_neighbors=8)
-        store.save_density("bench", density)
+        store.save_overlay("bench", "density", density)
         start = time.perf_counter()
         dense_service = ExplanationService.warm_start(
-            store, "bench", density="store")
+            store, "bench", overlays={"density": "store"})
         dense_result = dense_service.explain_batch(rows)
         warm_density_seconds = time.perf_counter() - start
         if dense_result.x_cf.shape != warm_result.x_cf.shape:
@@ -653,6 +809,7 @@ def run_perfbench(scale="smoke", seed=0):
         "density": _density_section(explainer, bundle, spec, min_seconds, seed),
         "causal": _causal_section(bundle, spec, min_seconds, seed),
         "robust": _robust_section(bundle, spec, min_seconds, seed),
+        "plan": _plan_section(explainer, bundle, spec, min_seconds, seed),
         "serve": _serve_section(spec, seed),
     }
     if scale == PRE_PR_BASELINE["scale"]:

@@ -33,9 +33,6 @@ ensembles as a standard fingerprinted overlay next to the pipeline.
 
 from __future__ import annotations
 
-import hashlib
-import json
-
 import numpy as np
 
 from ..utils.validation import check_2d, check_2d_fast, check_binary_labels
@@ -67,6 +64,10 @@ class BlackBoxEnsemble:
     """
 
     kind = "ensemble"
+
+    #: State keys excluded from :meth:`fingerprint` (none for ensembles;
+    #: the attribute completes the shared ``Persistable`` contract).
+    fingerprint_excludes = ()
 
     def __init__(self, members, mode="seed", seed=0):
         members = list(members)
@@ -230,21 +231,16 @@ class BlackBoxEnsemble:
     def fingerprint(self):
         """Deterministic hash of the member weights, for caches and the store.
 
-        Arrays hashed by content, scalars canonically JSON-encoded — the
-        exact contract of ``DensityModel.fingerprint`` and
-        ``CausalModel.fingerprint``, so the store and the serving cache
-        treat ensemble staleness identically to density/causal staleness.
+        Delegates to the shared :func:`repro.serve.persist.fingerprint_state`
+        contract (arrays hashed by content, scalars canonically
+        JSON-encoded) — the exact contract of
+        ``DensityModel.fingerprint`` and ``CausalModel.fingerprint``, so
+        the store and the serving cache treat ensemble staleness
+        identically to density/causal staleness.
         """
-        payload = {}
-        for key, value in self.get_state().items():
-            if isinstance(value, np.ndarray):
-                payload[key] = hashlib.sha256(
-                    np.ascontiguousarray(value).tobytes()
-                ).hexdigest()
-            else:
-                payload[key] = value
-        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+        from ..serve.persist import fingerprint_state
+
+        return fingerprint_state(self.get_state(), self.fingerprint_excludes)
 
 
 def train_ensemble(

@@ -5,14 +5,20 @@ servable system:
 
 * :mod:`repro.serve.pipeline` -- the shared build/train code both the
   experiment harness and the serving path use (``train_pipeline``).
+* :mod:`repro.serve.persist` -- the shared :class:`Persistable`
+  state/fingerprint contract every storable model family implements,
+  and the one :func:`fingerprint_state` hashing recipe behind it.
 * :mod:`repro.serve.store` -- :class:`ArtifactStore`, versioned on-disk
-  persistence of trained pipelines with fingerprinted manifests.
+  persistence of trained pipelines with fingerprinted manifests, plus
+  the generic overlay registry (``save_overlay`` / ``load_overlay``)
+  for the model state persisted next to them.
 * :mod:`repro.serve.service` -- :class:`ExplanationService`, warm-start
   batch serving with an LRU result cache and single-row micro-batching.
 * :mod:`repro.serve.cache` -- the LRU cache primitive.
 """
 
 from .cache import LRUResultCache
+from .persist import Persistable, fingerprint_state
 from .pipeline import (
     TrainedPipeline,
     load_bundle,
@@ -25,7 +31,10 @@ from .store import (
     ARTIFACT_FORMAT_VERSION,
     ArtifactError,
     ArtifactStore,
+    OverlayKind,
     StaleArtifactError,
+    overlay_kinds,
+    register_overlay_kind,
 )
 
 __all__ = [
@@ -35,10 +44,15 @@ __all__ = [
     "ExplainTicket",
     "ExplanationService",
     "LRUResultCache",
+    "OverlayKind",
+    "Persistable",
     "StaleArtifactError",
     "TrainedPipeline",
+    "fingerprint_state",
     "load_bundle",
+    "overlay_kinds",
     "pipeline_fingerprint",
+    "register_overlay_kind",
     "train_pipeline",
     "train_shared_blackbox",
 ]

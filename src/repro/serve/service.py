@@ -32,6 +32,8 @@ the causal fingerprint.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from ..core.result import CFBatchResult
@@ -39,6 +41,10 @@ from ..core.selection import generate_candidates
 from ..engine import EngineRunner
 from ..utils.validation import check_encoded_rows
 from .cache import LRUResultCache
+
+#: Overlay kinds :meth:`ExplanationService.warm_start` hosts, in the
+#: order the service constructor takes them.
+_SERVICE_OVERLAYS = ("density", "causal", "ensemble")
 
 __all__ = ["ExplainTicket", "ExplanationService"]
 
@@ -110,6 +116,18 @@ class ExplanationService:
         carry the ensemble fingerprint.
     robust_quorum:
         Member-agreement fraction a candidate needs to count as robust.
+    engine:
+        Execution path for cache-miss batches: ``"staged"`` (default)
+        runs the classic stage-by-stage :meth:`EngineRunner.run`;
+        ``"plan"`` compiles the served chain into an
+        :class:`~repro.engine.plan.ExplainPlan` once and replays it
+        fused (recompiled automatically when the runner or strategy is
+        re-pointed).  Plan serving always routes through the engine
+        runner, and the plan fingerprint joins the cache key.
+    plan_backend:
+        Backend name (or instance) the ``"plan"`` engine compiles onto;
+        the default ``"numpy"`` backend is bit-identical to staged
+        serving.
     """
 
     def __init__(
@@ -123,7 +141,11 @@ class ExplanationService:
         causal=None,
         ensemble=None,
         robust_quorum=0.5,
+        engine="staged",
+        plan_backend="numpy",
     ):
+        if engine not in ("staged", "plan"):
+            raise ValueError(f'engine must be "staged" or "plan", got {engine!r}')
         self.pipeline = pipeline
         self.explainer = pipeline.explainer
         self.strategy = strategy
@@ -133,17 +155,15 @@ class ExplanationService:
         self.causal = causal
         self.ensemble = ensemble
         self.robust_quorum = float(robust_quorum)
+        self.engine = engine
+        self.plan_backend = plan_backend
         self.fingerprint = pipeline.fingerprint
-        self._fingerprinted_strategy = strategy
-        self._strategy_fingerprint = strategy.fingerprint() if strategy is not None else "core"
-        self._fingerprinted_density = density
-        self._density_fingerprint = density.fingerprint() if density is not None else "none"
-        self._fingerprinted_causal = causal
-        self._causal_fingerprint = causal.fingerprint() if causal is not None else "none"
-        self._fingerprinted_ensemble = ensemble
-        self._ensemble_fingerprint = ensemble.fingerprint() if ensemble is not None else "none"
+        #: kind -> (model identity, raw fingerprint) memo behind the
+        #: ``*_fingerprint`` properties; see :meth:`_overlay_fingerprint`.
+        self._fingerprint_memo = {}
         self._runner = None
         self._core_strategy = None
+        self._compiled_plan = None
         self.cache = LRUResultCache(cache_size)
         self._pending = []
         self.batches_served = 0
@@ -162,6 +182,7 @@ class ExplanationService:
         expected_fingerprint=None,
         cache_size=4096,
         strategy=None,
+        overlays=None,
         density=None,
         density_weight=1.0,
         density_candidates=8,
@@ -170,24 +191,34 @@ class ExplanationService:
         robust_quorum=0.5,
         on_stale="raise",
         migrate_from=None,
+        engine="staged",
+        plan_backend="numpy",
     ):
         """Build a service from a stored artifact without any training.
 
         ``strategy`` serves a non-core strategy on top of the warm-started
         pipeline (the store persists the shared black-box and CF-VAE; the
-        strategy itself arrives fitted).  ``density`` may be a fitted
-        :class:`repro.density.DensityModel`, or the string ``"store"`` to
-        rebuild the estimator persisted with the artifact
-        (:meth:`repro.serve.ArtifactStore.load_density`, with the
-        warm-started CF-VAE re-attached for latent estimators).
-        ``causal`` likewise accepts a fitted
-        :class:`repro.causal.CausalModel` or ``"store"``
-        (:meth:`repro.serve.ArtifactStore.load_causal`, with the
-        warm-started encoder re-attached), and ``ensemble`` a trained
-        :class:`repro.models.BlackBoxEnsemble` or ``"store"``
-        (:meth:`repro.serve.ArtifactStore.load_ensemble`).  Raises the
-        store's ``ArtifactError``/``StaleArtifactError`` when the
-        artifact is missing, corrupted or stale.
+        strategy itself arrives fitted).
+
+        ``overlays`` is ONE spec for every hosted model overlay — a dict
+        mapping an overlay kind (``"density"``, ``"causal"``,
+        ``"ensemble"``) to either an already-fitted model or the string
+        ``"store"``, which rebuilds the state persisted with the
+        artifact through the store's generic
+        :meth:`repro.serve.ArtifactStore.load_overlay` (the warm-started
+        CF-VAE is re-attached for latent density estimators, the
+        warm-started encoder for causal models)::
+
+            ExplanationService.warm_start(
+                store, name,
+                overlays={"density": "store", "causal": causal_model},
+            )
+
+        The per-kind keyword arguments (``density=``, ``causal=``,
+        ``ensemble=``) are deprecated aliases folded into ``overlays``;
+        passing a kind both ways is an error.  Raises the store's
+        ``ArtifactError``/``StaleArtifactError`` when the artifact is
+        missing, corrupted or stale.
 
         ``on_stale`` controls the rollover behaviour when
         ``expected_fingerprint`` no longer matches the stored artifact
@@ -213,6 +244,28 @@ class ExplanationService:
                 f'on_stale must be "raise" or "migrate", got {on_stale!r}')
         from .store import StaleArtifactError
 
+        overlays = dict(overlays) if overlays else {}
+        unknown = sorted(set(overlays) - set(_SERVICE_OVERLAYS))
+        if unknown:
+            raise ValueError(
+                f"unknown overlay kinds {unknown} in overlays; "
+                f"the service hosts {list(_SERVICE_OVERLAYS)}")
+        for kind, legacy in (("density", density), ("causal", causal),
+                             ("ensemble", ensemble)):
+            if legacy is None:
+                continue
+            if kind in overlays:
+                raise ValueError(
+                    f"overlay {kind!r} passed both as a keyword argument and "
+                    f"in overlays; use overlays only")
+            warnings.warn(
+                f"warm_start({kind}=...) is deprecated; pass "
+                f"overlays={{{kind!r}: ...}} instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            overlays[kind] = legacy
+
         try:
             pipeline = store.load(name, expected_fingerprint=expected_fingerprint)
         except StaleArtifactError as error:
@@ -226,22 +279,26 @@ class ExplanationService:
             # the store holds now (this load still enforces the artifact's
             # own internal consistency) and salvage the old cache below
             pipeline = store.load(name)
-        if density == "store":
-            density = store.load_density(name, vae=pipeline.explainer.generator.vae)
-        if causal == "store":
-            causal = store.load_causal(name, encoder=pipeline.encoder)
-        if ensemble == "store":
-            ensemble = store.load_ensemble(name)
+        for kind, value in overlays.items():
+            if value == "store":
+                overlays[kind] = store.load_overlay(
+                    name,
+                    kind,
+                    vae=pipeline.explainer.generator.vae,
+                    encoder=pipeline.encoder,
+                )
         service = cls(
             pipeline,
             cache_size=cache_size,
             strategy=strategy,
-            density=density,
+            density=overlays.get("density"),
             density_weight=density_weight,
             density_candidates=density_candidates,
-            causal=causal,
-            ensemble=ensemble,
+            causal=overlays.get("causal"),
+            ensemble=overlays.get("ensemble"),
             robust_quorum=robust_quorum,
+            engine=engine,
+            plan_backend=plan_backend,
         )
         if migrate_from is not None:
             service.migrate_cache(migrate_from)
@@ -274,6 +331,26 @@ class ExplanationService:
                 robust_quorum=self.robust_quorum,
             )
         return self._runner
+
+    @property
+    def plan(self):
+        """Compiled :class:`ExplainPlan` serving cache misses (plan engine only).
+
+        ``None`` on the staged engine.  Recompiled whenever the runner
+        is rebuilt or the served strategy is re-pointed, so the replayed
+        chain always matches the configuration the cache keys carry.
+        """
+        if self.engine != "plan":
+            return None
+        runner = self.runner
+        strategy = self.strategy or self.core_strategy
+        if (
+            self._compiled_plan is None
+            or self._compiled_plan.runner is not runner
+            or self._compiled_plan.strategy is not strategy
+        ):
+            self._compiled_plan = runner.compile(strategy, backend=self.plan_backend)
+        return self._compiled_plan
 
     @property
     def core_strategy(self):
@@ -314,20 +391,33 @@ class ExplanationService:
             raise ValueError(f"desired ({len(desired)}) and rows ({len(rows)}) counts differ")
         return desired
 
+    def _overlay_fingerprint(self, kind, obj, default, suffix=""):
+        """Identity-memoised fingerprint of one served model slot.
+
+        The one recompute rule behind every ``*_fingerprint`` property:
+        the fingerprint is recomputed when the slot is re-pointed at a
+        different object (identity comparison), so switching models can
+        never serve stale cross-model cache hits — while an in-place
+        refit of the hosted instance is *not* detected (attach a freshly
+        fitted model instead).  ``suffix`` tags cache-relevant serving
+        parameters (selection weight, robustness quorum) onto a hosted
+        model's fingerprint; slots without a model report ``default``
+        untagged.
+        """
+        memo = self._fingerprint_memo.get(kind)
+        if memo is None or memo[0] is not obj:
+            value = obj.fingerprint() if obj is not None else default
+            self._fingerprint_memo[kind] = (obj, value)
+        else:
+            value = memo[1]
+        if obj is None:
+            return value
+        return f"{value}{suffix}"
+
     @property
     def strategy_fingerprint(self):
-        """Fingerprint of the currently served strategy (``"core"`` if none).
-
-        Recomputed when ``self.strategy`` is re-pointed, so a service can
-        switch strategies without serving stale cross-strategy cache
-        hits.
-        """
-        if self.strategy is not self._fingerprinted_strategy:
-            self._fingerprinted_strategy = self.strategy
-            self._strategy_fingerprint = (
-                self.strategy.fingerprint() if self.strategy is not None else "core"
-            )
-        return self._strategy_fingerprint
+        """Fingerprint of the currently served strategy (``"core"`` if none)."""
+        return self._overlay_fingerprint("strategy", self.strategy, "core")
 
     @property
     def density_fingerprint(self):
@@ -335,38 +425,15 @@ class ExplanationService:
 
         ``"none"`` without a model; otherwise the estimator fingerprint
         tagged with the selection weight (the weight changes which
-        candidate wins, so it is cache-relevant).  Recomputed when
-        ``self.density`` is re-pointed, so switching estimators or
-        weights can never serve stale cross-density cache hits.
-        Invalidation is identity-based (like the strategy fingerprint):
-        to change the reference population, attach a freshly fitted
-        estimator rather than calling ``fit`` on the hosted one —
-        an in-place refit is not detected.
+        candidate wins, so it is cache-relevant).
         """
-        if self.density is not self._fingerprinted_density:
-            self._fingerprinted_density = self.density
-            self._density_fingerprint = (
-                self.density.fingerprint() if self.density is not None else "none"
-            )
-        if self.density is None:
-            return self._density_fingerprint
-        return f"{self._density_fingerprint}@w{self.density_weight}"
+        return self._overlay_fingerprint(
+            "density", self.density, "none", suffix=f"@w{self.density_weight}")
 
     @property
     def causal_fingerprint(self):
-        """Fingerprint of the served causal configuration.
-
-        ``"none"`` without a model, else the model fingerprint.  Same
-        identity-based recompute rule as the density fingerprint: to
-        change the causal model, attach a freshly fitted one rather than
-        refitting the hosted instance in place.
-        """
-        if self.causal is not self._fingerprinted_causal:
-            self._fingerprinted_causal = self.causal
-            self._causal_fingerprint = (
-                self.causal.fingerprint() if self.causal is not None else "none"
-            )
-        return self._causal_fingerprint
+        """Fingerprint of the served causal configuration (``"none"`` if none)."""
+        return self._overlay_fingerprint("causal", self.causal, "none")
 
     @property
     def ensemble_fingerprint(self):
@@ -374,17 +441,22 @@ class ExplanationService:
 
         ``"none"`` without an ensemble; otherwise the ensemble
         fingerprint tagged with the quorum (the quorum changes which
-        candidate wins selection, so it is cache-relevant).  Same
-        identity-based recompute rule as the density fingerprint.
+        candidate wins selection, so it is cache-relevant).
         """
-        if self.ensemble is not self._fingerprinted_ensemble:
-            self._fingerprinted_ensemble = self.ensemble
-            self._ensemble_fingerprint = (
-                self.ensemble.fingerprint() if self.ensemble is not None else "none"
-            )
-        if self.ensemble is None:
-            return self._ensemble_fingerprint
-        return f"{self._ensemble_fingerprint}@q{self.robust_quorum}"
+        return self._overlay_fingerprint(
+            "ensemble", self.ensemble, "none", suffix=f"@q{self.robust_quorum}")
+
+    @property
+    def engine_fingerprint(self):
+        """Cache-key component of the execution path.
+
+        ``"staged"`` on the classic path; on the plan engine the
+        compiled plan's own fingerprint (which folds in the backend and
+        the traced chain), so plan-served rows never collide with
+        staged-served ones and a backend switch invalidates cleanly.
+        """
+        plan = self.plan
+        return "staged" if plan is None else f"plan-{plan.fingerprint()}"
 
     @property
     def _hosts_model(self):
@@ -394,19 +466,21 @@ class ExplanationService:
             or self.density is not None
             or self.causal is not None
             or self.ensemble is not None
+            or self.engine == "plan"
         )
 
     @property
     def cache_fingerprint(self):
         """Composite cache-key component:
-        ``pipeline:strategy:density:causal:ensemble``.
+        ``pipeline:engine:strategy:density:causal:ensemble``.
 
         Uses the pipeline fingerprint hashed once at construction —
         recomputing it per lookup would re-serialise the config and
         schema on every cached row.
         """
         return (
-            f"{self.fingerprint}:{self.strategy_fingerprint}"
+            f"{self.fingerprint}:{self.engine_fingerprint}"
+            f":{self.strategy_fingerprint}"
             f":{self.density_fingerprint}:{self.causal_fingerprint}"
             f":{self.ensemble_fingerprint}"
         )
@@ -497,8 +571,11 @@ class ExplanationService:
             if self._hosts_model:
                 # a hosted model without a strategy serves the core path
                 # through the runner (diverse sweep for density, one-shot
-                # decode for causal-only)
-                sub = self.runner.run(self.strategy or self.core_strategy, sub_rows, sub_desired)
+                # decode for causal-only); the plan engine replays the
+                # compiled chain instead of the staged stages
+                sub = self.runner.run(
+                    self.strategy or self.core_strategy, sub_rows, sub_desired,
+                    plan=self.plan)
                 sub_cf, sub_predicted = sub.x_cf, sub.predicted
                 sub_feasible = sub.feasible
             else:
@@ -576,7 +653,8 @@ class ExplanationService:
 
         if self._hosts_model:
             result, diagnostics = self.runner.run(
-                self.strategy or self.core_strategy, rows, desired, return_diagnostics=True
+                self.strategy or self.core_strategy, rows, desired,
+                return_diagnostics=True, plan=self.plan
             )
             for i, (ticket, target) in enumerate(zip(tickets, desired)):
                 ticket._result = {

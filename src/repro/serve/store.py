@@ -20,7 +20,8 @@ import hashlib
 import json
 import pathlib
 import time
-from dataclasses import asdict
+import warnings
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
@@ -37,7 +38,10 @@ __all__ = [
     "ARTIFACT_FORMAT_VERSION",
     "ArtifactError",
     "ArtifactStore",
+    "OverlayKind",
     "StaleArtifactError",
+    "overlay_kinds",
+    "register_overlay_kind",
 ]
 
 #: Bump when the artifact layout or manifest schema changes; loading an
@@ -53,6 +57,85 @@ _CAUSAL = "causal.npz"
 _CAUSAL_META = "causal.json"
 _ENSEMBLE = "ensemble.npz"
 _ENSEMBLE_META = "ensemble.json"
+
+
+@dataclass(frozen=True)
+class OverlayKind:
+    """One registered overlay family: its files and its rebuild recipe.
+
+    ``rebuild(store, name, state, vae=, encoder=)`` turns the loaded flat
+    state dict back into a fitted model; kinds ignore the context
+    keyword arguments they do not need (``vae`` re-attaches a CF-VAE to
+    latent density estimators, ``encoder`` a fitted encoder to causal
+    models).
+    """
+
+    name: str
+    npz_name: str
+    meta_name: str
+    rebuild: callable
+
+
+def _rebuild_density(store, name, state, vae=None, encoder=None):
+    return density_from_state(state, vae=vae)
+
+
+def _rebuild_causal(store, name, state, vae=None, encoder=None):
+    if encoder is None:
+        # rebuilt from the artifact's own manifest, so a causal overlay
+        # is loadable without first loading the full pipeline
+        manifest = store.manifest(name)
+        schema = dataset_schema(manifest["dataset"])
+        encoder = TabularEncoder.from_state(schema, manifest["encoder"])
+    return causal_from_state(state, encoder)
+
+
+def _rebuild_ensemble(store, name, state, vae=None, encoder=None):
+    return BlackBoxEnsemble.from_state(state)
+
+
+#: kind name -> OverlayKind; the store's generic save/load/has dispatch.
+_OVERLAY_KINDS = {}
+
+
+def register_overlay_kind(kind, overwrite=False):
+    """Register an :class:`OverlayKind` under its name.
+
+    Every model family the store can attach to an artifact (density,
+    causal, ensemble, ...) registers once; the generic
+    :meth:`ArtifactStore.save_overlay` / :meth:`ArtifactStore.load_overlay`
+    surface then covers it with no per-kind store methods.
+    """
+    if kind.name in _OVERLAY_KINDS and not overwrite:
+        raise ValueError(
+            f"overlay kind {kind.name!r} is already registered (overwrite=True replaces)")
+    _OVERLAY_KINDS[kind.name] = kind
+    return kind
+
+
+def overlay_kinds():
+    """Sorted names of every registered overlay kind."""
+    return tuple(sorted(_OVERLAY_KINDS))
+
+
+def _overlay_kind(kind):
+    if kind not in _OVERLAY_KINDS:
+        known = ", ".join(overlay_kinds())
+        raise KeyError(f"unknown overlay kind {kind!r}; registered: {known}")
+    return _OVERLAY_KINDS[kind]
+
+
+register_overlay_kind(OverlayKind("density", _DENSITY, _DENSITY_META, _rebuild_density))
+register_overlay_kind(OverlayKind("causal", _CAUSAL, _CAUSAL_META, _rebuild_causal))
+register_overlay_kind(OverlayKind("ensemble", _ENSEMBLE, _ENSEMBLE_META, _rebuild_ensemble))
+
+
+def _deprecated_overlay_method(old, new):
+    warnings.warn(
+        f"ArtifactStore.{old} is deprecated; use ArtifactStore.{new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 class ArtifactError(RuntimeError):
@@ -375,96 +458,89 @@ class ArtifactStore:
             )
         return model
 
-    # -- density state ------------------------------------------------------
-    def save_density(self, name, model):
-        """Persist a fitted density estimator next to artifact ``name``.
+    # -- generic overlay API -------------------------------------------------
+    def save_overlay(self, name, kind, model):
+        """Persist a fitted model as a ``kind`` overlay on artifact ``name``.
 
-        Arrays of the estimator's state go into ``density.npz``; scalar
-        state, the estimator fingerprint and the npz checksum go into a
-        ``density.json`` sidecar (written last, like the manifest).
+        One entry point for every registered :class:`OverlayKind`
+        (:func:`overlay_kinds` lists them): arrays of the model's
+        :meth:`get_state` go into ``<kind>.npz``; scalar state, the model
+        fingerprint and the npz checksum go into a ``<kind>.json``
+        sidecar (written last, like the manifest).
         """
-        return self._save_overlay(name, model, "density", _DENSITY, _DENSITY_META)
+        spec = _overlay_kind(kind)
+        return self._save_overlay(name, model, spec.name, spec.npz_name, spec.meta_name)
 
-    def has_density(self, name):
-        """Whether artifact ``name`` carries persisted density state."""
-        return (self.artifact_dir(name) / _DENSITY_META).is_file()
+    def has_overlay(self, name, kind):
+        """Whether artifact ``name`` carries a persisted ``kind`` overlay."""
+        spec = _overlay_kind(kind)
+        return (self.artifact_dir(name) / spec.meta_name).is_file()
 
-    def load_density(self, name, vae=None, expected_fingerprint=None):
-        """Rebuild the fitted density estimator stored with ``name``.
+    def load_overlay(self, name, kind, expected_fingerprint=None, vae=None, encoder=None):
+        """Rebuild the fitted ``kind`` model stored with artifact ``name``.
 
-        ``vae`` re-attaches the encoder a ``latent`` estimator scores
-        through (pass the warm-started pipeline's CF-VAE).  Raises
-        :class:`StaleArtifactError` when the format version or the
-        recomputed fingerprint disagree with the sidecar, and
-        :class:`ArtifactError` on a missing/corrupt file — the same
-        error contract as :meth:`load`.
-        """
-        state, meta = self._load_overlay(name, "density", _DENSITY, _DENSITY_META)
-        model = density_from_state(state, vae=vae)
-        return self._check_overlay_fingerprint(name, model, meta, "density", expected_fingerprint)
-
-    # -- causal state -------------------------------------------------------
-    def save_causal(self, name, model):
-        """Persist a fitted causal model next to artifact ``name``.
-
-        Same overlay layout as :meth:`save_density`: arrays in
-        ``causal.npz``, scalars + fingerprint + checksum in a
-        ``causal.json`` sidecar written last.
-        """
-        return self._save_overlay(name, model, "causal", _CAUSAL, _CAUSAL_META)
-
-    def has_causal(self, name):
-        """Whether artifact ``name`` carries persisted causal state."""
-        return (self.artifact_dir(name) / _CAUSAL_META).is_file()
-
-    def load_causal(self, name, encoder=None, expected_fingerprint=None):
-        """Rebuild the fitted causal model stored with ``name``.
-
-        ``encoder`` re-attaches the fitted encoder the model reads its
-        feature layout from; when ``None`` it is rebuilt from the
-        artifact's own manifest, so a causal overlay is loadable without
-        first loading the full pipeline.  Error contract matches
-        :meth:`load_density` — :class:`StaleArtifactError` on version or
-        fingerprint drift (including an encoder whose fitted ranges no
-        longer match the persisted equation ranges),
-        :class:`ArtifactError` on missing/corrupt files.
-        """
-        state, meta = self._load_overlay(name, "causal", _CAUSAL, _CAUSAL_META)
-        if encoder is None:
-            manifest = self.manifest(name)
-            schema = dataset_schema(manifest["dataset"])
-            encoder = TabularEncoder.from_state(schema, manifest["encoder"])
-        model = causal_from_state(state, encoder)
-        return self._check_overlay_fingerprint(name, model, meta, "causal", expected_fingerprint)
-
-    # -- ensemble state ------------------------------------------------------
-    def save_ensemble(self, name, ensemble):
-        """Persist a trained :class:`BlackBoxEnsemble` next to artifact ``name``.
-
-        Same overlay layout as :meth:`save_density` / :meth:`save_causal`:
-        member weight arrays in ``ensemble.npz``, scalars + fingerprint +
-        checksum in an ``ensemble.json`` sidecar written last.  The
-        serving rollover path keys its staleness decisions off this
-        sidecar's fingerprint.
-        """
-        return self._save_overlay(name, ensemble, "ensemble", _ENSEMBLE, _ENSEMBLE_META)
-
-    def has_ensemble(self, name):
-        """Whether artifact ``name`` carries persisted ensemble state."""
-        return (self.artifact_dir(name) / _ENSEMBLE_META).is_file()
-
-    def load_ensemble(self, name, expected_fingerprint=None):
-        """Rebuild the trained ensemble stored with ``name``.
-
-        Error contract matches :meth:`load_density` —
+        ``vae`` re-attaches the CF-VAE a ``latent`` density estimator
+        scores through; ``encoder`` the fitted encoder a causal model
+        reads its feature layout from (rebuilt from the artifact's own
+        manifest when omitted).  Kinds ignore the context arguments they
+        do not need.  Error contract matches :meth:`load`:
         :class:`StaleArtifactError` (carrying ``expected``/``found``) on
         version or fingerprint drift, :class:`ArtifactError` on
         missing/corrupt files.
         """
-        state, meta = self._load_overlay(name, "ensemble", _ENSEMBLE, _ENSEMBLE_META)
-        ensemble = BlackBoxEnsemble.from_state(state)
+        spec = _overlay_kind(kind)
+        state, meta = self._load_overlay(name, spec.name, spec.npz_name, spec.meta_name)
+        model = spec.rebuild(self, name, state, vae=vae, encoder=encoder)
         return self._check_overlay_fingerprint(
-            name, ensemble, meta, "ensemble", expected_fingerprint)
+            name, model, meta, spec.name, expected_fingerprint)
+
+    # -- deprecated per-kind wrappers ----------------------------------------
+    def save_density(self, name, model):
+        """Deprecated: use ``save_overlay(name, "density", model)``."""
+        _deprecated_overlay_method("save_density", 'save_overlay(name, "density", model)')
+        return self.save_overlay(name, "density", model)
+
+    def has_density(self, name):
+        """Deprecated: use ``has_overlay(name, "density")``."""
+        _deprecated_overlay_method("has_density", 'has_overlay(name, "density")')
+        return self.has_overlay(name, "density")
+
+    def load_density(self, name, vae=None, expected_fingerprint=None):
+        """Deprecated: use ``load_overlay(name, "density", vae=...)``."""
+        _deprecated_overlay_method("load_density", 'load_overlay(name, "density")')
+        return self.load_overlay(
+            name, "density", expected_fingerprint=expected_fingerprint, vae=vae)
+
+    def save_causal(self, name, model):
+        """Deprecated: use ``save_overlay(name, "causal", model)``."""
+        _deprecated_overlay_method("save_causal", 'save_overlay(name, "causal", model)')
+        return self.save_overlay(name, "causal", model)
+
+    def has_causal(self, name):
+        """Deprecated: use ``has_overlay(name, "causal")``."""
+        _deprecated_overlay_method("has_causal", 'has_overlay(name, "causal")')
+        return self.has_overlay(name, "causal")
+
+    def load_causal(self, name, encoder=None, expected_fingerprint=None):
+        """Deprecated: use ``load_overlay(name, "causal", encoder=...)``."""
+        _deprecated_overlay_method("load_causal", 'load_overlay(name, "causal")')
+        return self.load_overlay(
+            name, "causal", expected_fingerprint=expected_fingerprint, encoder=encoder)
+
+    def save_ensemble(self, name, ensemble):
+        """Deprecated: use ``save_overlay(name, "ensemble", ensemble)``."""
+        _deprecated_overlay_method("save_ensemble", 'save_overlay(name, "ensemble", ensemble)')
+        return self.save_overlay(name, "ensemble", ensemble)
+
+    def has_ensemble(self, name):
+        """Deprecated: use ``has_overlay(name, "ensemble")``."""
+        _deprecated_overlay_method("has_ensemble", 'has_overlay(name, "ensemble")')
+        return self.has_overlay(name, "ensemble")
+
+    def load_ensemble(self, name, expected_fingerprint=None):
+        """Deprecated: use ``load_overlay(name, "ensemble")``."""
+        _deprecated_overlay_method("load_ensemble", 'load_overlay(name, "ensemble")')
+        return self.load_overlay(name, "ensemble", expected_fingerprint=expected_fingerprint)
 
     # -- train-or-load ------------------------------------------------------
     def ensure(

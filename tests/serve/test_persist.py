@@ -1,0 +1,118 @@
+"""The shared Persistable contract and the extracted fingerprint recipe.
+
+Density, causal and ensemble models each hand-rolled the same
+state-hashing algorithm before :mod:`repro.serve.persist` unified it;
+these tests pin the extracted :func:`fingerprint_state` byte-identical
+to that historical recipe (so every sidecar fingerprint persisted by
+older code still validates) and check the three model families satisfy
+the structural :class:`Persistable` protocol.
+"""
+
+import hashlib
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve import Persistable, fingerprint_state
+
+
+def historical_fingerprint(state, excludes=()):
+    """The per-layer algorithm as it existed before the extraction."""
+    payload = {}
+    for key, value in state.items():
+        if key in excludes:
+            continue
+        if isinstance(value, np.ndarray):
+            payload[key] = hashlib.sha256(
+                np.ascontiguousarray(value).tobytes()).hexdigest()
+        else:
+            payload[key] = value
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+@pytest.fixture(scope="module")
+def models(tiny_pipeline):
+    """One fitted model per overlay family, on the shared tiny pipeline."""
+    from repro.causal import fit_causal
+    from repro.density import KnnDensity
+    from repro.models import train_ensemble
+
+    x_train, y_train = tiny_pipeline.bundle.split("train")
+    desired_class = int(tiny_pipeline.bundle.schema.desired_class)
+    density = KnnDensity(k_neighbors=5).fit(
+        x_train[y_train == desired_class][:120])
+    causal = fit_causal("scm", tiny_pipeline.encoder, x_train)
+    ensemble = train_ensemble(
+        x_train, y_train, n_members=2, epochs=1,
+        include=tiny_pipeline.blackbox)
+    return density, causal, ensemble
+
+
+class TestFingerprintState:
+    def test_matches_the_historical_recipe(self):
+        state = {
+            "kind": "probe",
+            "reference": np.arange(12, dtype=np.float64).reshape(3, 4),
+            "k_neighbors": 5,
+            "bandwidth": 0.25,
+            "transient": np.ones(3),
+        }
+        assert fingerprint_state(state) == historical_fingerprint(state)
+        assert fingerprint_state(
+            state, excludes=("transient",)) == historical_fingerprint(
+            state, excludes=("transient",))
+
+    def test_excludes_change_nothing_but_the_excluded(self):
+        state = {"a": np.zeros(4), "b": 1}
+        assert fingerprint_state(state, excludes=("b",)) != fingerprint_state(state)
+        without = {"a": np.zeros(4)}
+        assert fingerprint_state(state, excludes=("b",)) == fingerprint_state(without)
+
+    def test_array_content_not_identity(self):
+        a = {"w": np.arange(6, dtype=np.float64)}
+        b = {"w": np.arange(6, dtype=np.float64).copy()}
+        assert fingerprint_state(a) == fingerprint_state(b)
+        c = {"w": np.arange(6, dtype=np.float64)[::-1].copy()}
+        assert fingerprint_state(a) != fingerprint_state(c)
+
+    def test_noncontiguous_arrays_hash_by_content(self):
+        base = np.arange(24, dtype=np.float64).reshape(4, 6)
+        strided = {"w": base[:, ::2]}
+        contiguous = {"w": np.ascontiguousarray(base[:, ::2])}
+        assert fingerprint_state(strided) == fingerprint_state(contiguous)
+
+    def test_model_fingerprints_delegate_to_the_shared_recipe(self, models):
+        density, causal, ensemble = models
+        assert density.fingerprint() == historical_fingerprint(
+            density.get_state(), density.fingerprint_excludes)
+        assert causal.fingerprint() == historical_fingerprint(
+            causal._fingerprint_state(), causal.fingerprint_excludes)
+        assert ensemble.fingerprint() == historical_fingerprint(
+            ensemble.get_state(), ensemble.fingerprint_excludes)
+
+
+class TestPersistableProtocol:
+    def test_all_three_families_satisfy_it(self, models):
+        for model in models:
+            assert isinstance(model, Persistable)
+
+    def test_structural_not_nominal(self):
+        class _Conforming:
+            def get_state(self):
+                return {}
+
+            @classmethod
+            def from_state(cls, state):
+                return cls()
+
+            def fingerprint(self):
+                return fingerprint_state({})
+
+        class _Missing:
+            def get_state(self):
+                return {}
+
+        assert isinstance(_Conforming(), Persistable)
+        assert not isinstance(_Missing(), Persistable)

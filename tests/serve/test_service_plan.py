@@ -1,0 +1,121 @@
+"""Unified warm_start overlay spec and the compiled-plan serving engine."""
+
+import numpy as np
+import pytest
+
+from repro.density import KnnDensity
+from repro.serve import ArtifactStore, ExplanationService
+
+
+@pytest.fixture(scope="module")
+def stored(tiny_pipeline, tmp_path_factory):
+    store = ArtifactStore(tmp_path_factory.mktemp("service-plan"))
+    store.save(tiny_pipeline, name="t")
+    x_train, y_train = tiny_pipeline.bundle.split("train")
+    desired_class = int(tiny_pipeline.bundle.schema.desired_class)
+    density = KnnDensity(k_neighbors=5).fit(
+        x_train[y_train == desired_class][:150])
+    store.save_overlay("t", "density", density)
+    return store, density
+
+
+class TestWarmStartOverlays:
+    def test_overlays_spec_loads_from_store(self, stored):
+        store, density = stored
+        service = ExplanationService.warm_start(
+            store, "t", overlays={"density": "store"})
+        assert service.density is not None
+        assert service.density.fingerprint() == density.fingerprint()
+
+    def test_overlays_spec_accepts_fitted_models(self, stored):
+        store, density = stored
+        service = ExplanationService.warm_start(
+            store, "t", overlays={"density": density})
+        assert service.density is density
+
+    def test_legacy_kwargs_warn_and_match_the_spec(self, stored):
+        store, density = stored
+        with pytest.warns(DeprecationWarning, match="overlays="):
+            legacy = ExplanationService.warm_start(store, "t", density="store")
+        unified = ExplanationService.warm_start(
+            store, "t", overlays={"density": "store"})
+        assert legacy.density.fingerprint() == unified.density.fingerprint()
+        assert legacy.cache_fingerprint == unified.cache_fingerprint
+
+    def test_conflicting_kind_rejected(self, stored):
+        store, density = stored
+        with pytest.raises(ValueError, match="both"):
+            ExplanationService.warm_start(
+                store, "t", density=density, overlays={"density": "store"})
+
+    def test_unknown_overlay_kind_rejected(self, stored):
+        store, _ = stored
+        with pytest.raises(ValueError, match="unknown overlay kinds"):
+            ExplanationService.warm_start(
+                store, "t", overlays={"hologram": "store"})
+
+
+class TestPlanEngine:
+    def test_rejects_unknown_engine(self, tiny_pipeline):
+        with pytest.raises(ValueError, match="engine"):
+            ExplanationService(tiny_pipeline, engine="warp")
+
+    def test_staged_engine_has_no_plan(self, tiny_pipeline):
+        service = ExplanationService(tiny_pipeline)
+        assert service.plan is None
+        assert service.engine_fingerprint == "staged"
+
+    def test_plan_engine_serves_staged_results(self, tiny_pipeline,
+                                               explain_rows):
+        staged = ExplanationService(tiny_pipeline)
+        compiled = ExplanationService(tiny_pipeline, engine="plan")
+        a = staged.explain_batch(explain_rows)
+        b = compiled.explain_batch(explain_rows)
+        np.testing.assert_array_equal(b.x_cf, a.x_cf)
+        np.testing.assert_array_equal(b.valid, a.valid)
+        np.testing.assert_array_equal(b.feasible, a.feasible)
+
+    def test_plan_engine_fingerprint_partitions_the_cache(self,
+                                                          tiny_pipeline):
+        staged = ExplanationService(tiny_pipeline)
+        compiled = ExplanationService(tiny_pipeline, engine="plan")
+        assert compiled.engine_fingerprint.startswith("plan-")
+        assert compiled.plan is not None
+        assert (compiled.engine_fingerprint
+                == f"plan-{compiled.plan.fingerprint()}")
+        assert staged.cache_fingerprint != compiled.cache_fingerprint
+        # only the engine component differs
+        assert (staged.cache_fingerprint.split(":")[2:]
+                == compiled.cache_fingerprint.split(":")[2:])
+
+    def test_backend_switch_invalidates_the_key(self, tiny_pipeline):
+        numpy_service = ExplanationService(tiny_pipeline, engine="plan")
+        tiled = ExplanationService(
+            tiny_pipeline, engine="plan", plan_backend="float32")
+        assert (numpy_service.cache_fingerprint
+                != tiled.cache_fingerprint)
+
+    def test_plan_recompiles_when_the_runner_rebuilds(self, tiny_pipeline,
+                                                      stored):
+        _, density = stored
+        service = ExplanationService(tiny_pipeline, engine="plan")
+        first = service.plan
+        assert service.plan is first  # stable while config is stable
+        service.density = density
+        second = service.plan
+        assert second is not first
+        assert second.runner.density is density
+
+    def test_plan_engine_flush_serves_submitted_rows(self, tiny_pipeline,
+                                                     explain_rows):
+        # the plan engine routes flushed tickets through the compiled
+        # core chain (m=1 decode), which must answer exactly what the
+        # staged batch path answers for the same row
+        staged = ExplanationService(tiny_pipeline)
+        compiled = ExplanationService(tiny_pipeline, engine="plan")
+        batch = staged.explain_batch(explain_rows[:1])
+        ticket = compiled.submit(explain_rows[0])
+        compiled.flush()
+        resolved = ticket.result()
+        np.testing.assert_array_equal(resolved["x_cf"], batch.x_cf[0])
+        assert resolved["valid"] == bool(batch.valid[0])

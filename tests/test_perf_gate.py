@@ -21,7 +21,7 @@ def gate():
 
 def _results(train=100.0, predict=1000.0, candidates=500.0,
              constraint_eval=2000.0, scenarios=50.0, density=300.0,
-             causal=700.0, robust=400.0):
+             causal=700.0, robust=400.0, plan=600.0):
     return {
         "train": {"rows_per_sec": train},
         "predict": {"rows_per_sec": predict},
@@ -31,6 +31,7 @@ def _results(train=100.0, predict=1000.0, candidates=500.0,
         "density": {"rows_per_sec": density},
         "causal": {"rows_per_sec": causal},
         "robust": {"rows_per_sec": robust},
+        "plan": {"rows_per_sec": plan},
     }
 
 
@@ -38,7 +39,7 @@ class TestCompare:
     def test_no_regression_passes(self, gate):
         rows, failures = gate.compare(_results(), _results(predict=990.0))
         assert failures == []
-        assert len(rows) == 8
+        assert len(rows) == 9
 
     def test_density_is_gated(self, gate):
         _, failures = gate.compare(_results(), _results(density=10.0))
@@ -54,6 +55,11 @@ class TestCompare:
         _, failures = gate.compare(_results(), _results(robust=10.0))
         assert len(failures) == 1
         assert "robust" in failures[0]
+
+    def test_plan_is_gated(self, gate):
+        _, failures = gate.compare(_results(), _results(plan=10.0))
+        assert len(failures) == 1
+        assert "plan" in failures[0]
 
     def test_constraint_eval_is_gated(self, gate):
         _, failures = gate.compare(_results(), _results(constraint_eval=100.0))
@@ -73,12 +79,13 @@ class TestCompare:
         del old["density"]
         del old["causal"]
         del old["robust"]
+        del old["plan"]
         rows, failures = gate.compare(old, _results())
         assert failures == []
         skipped = [r for r in rows if r[2] != r[2]]  # NaN baseline
         assert {r[0] for r in skipped} == {
             "constraint_eval", "scenario_matrix", "density", "causal",
-            "robust"}
+            "robust", "plan"}
         markdown = gate.render_markdown(rows, 0.30)
         assert "no baseline" in markdown
 
