@@ -1,0 +1,113 @@
+"""Benchmark: scaled serving tier smoke (replica sweep, verify-only).
+
+A focused, budgeted runner for the ``serve_scale`` perfbench section:
+it replays the cache-bound single-row trace at the requested replica
+counts, prints a sustained-throughput / p50 / p99 markdown table and
+enforces a wall-clock budget — the shape CI wants for a quick "does the
+scaled tier still serve and still scale" check without paying for the
+full engine benchmark.
+
+By default the run is verify-only: it does NOT touch
+``BENCH_engine.json`` (whose committed ``serve_scale`` section is the
+full 1/2/4-replica sweep written by ``bench_perf_engine.py``).  Pass
+``--merge`` to fold the measured section into an existing results file
+instead.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_serve_scale.py \
+        --replicas 1 2 --budget 120
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_engine.json"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.perfbench import (  # noqa: E402
+    MIN_SERVE_SCALE_SPEEDUP,
+    PERF_SCALES,
+    _serve_scale_section,
+)
+
+
+def render_markdown(section):
+    """Replicas-vs-throughput markdown table for the CI job summary."""
+    lines = [
+        "### Scaled serving tier (`serve_scale`)",
+        "",
+        f"{section['requests']} single-row requests over "
+        f"{section['rows']} distinct rows, per-replica cache "
+        f"{section['cache_per_replica']} rows, "
+        f"{section['backend']}-backed pool.",
+        "",
+        "| replicas | rows/s | p50 ms | p99 ms | cache hit rate |",
+        "|---:|---:|---:|---:|---:|",
+    ]
+    for entry in section["replicas"]:
+        lines.append(
+            f"| {entry['replicas']} | {entry['rows_per_sec']:,.1f} "
+            f"| {entry['p50_ms']:.3f} | {entry['p99_ms']:.3f} "
+            f"| {100 * entry['hit_rate']:.1f}% |")
+    speedup = section.get("speedup_4_replicas_vs_1")
+    if speedup is not None:
+        lines.append("")
+        lines.append(
+            f"4-replica speedup vs 1: **{speedup:.2f}x** "
+            f"(floor {MIN_SERVE_SCALE_SPEEDUP}x).")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="smoke", choices=("smoke", "full"))
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--replicas", type=int, nargs="+", default=[1, 2],
+                        help="replica counts to sweep (default: 1 2)")
+    parser.add_argument("--budget", type=float, default=None,
+                        help="fail if the sweep exceeds this many seconds")
+    parser.add_argument("--merge", type=pathlib.Path, default=None,
+                        metavar="RESULTS_JSON",
+                        help="fold the measured serve_scale section into "
+                             "this existing results file (default: "
+                             "verify-only, nothing written)")
+    parser.add_argument("--summary", type=pathlib.Path, default=None,
+                        help="file to append the markdown table to "
+                             "(e.g. $GITHUB_STEP_SUMMARY)")
+    args = parser.parse_args(argv)
+
+    spec = PERF_SCALES[args.scale]
+    start = time.perf_counter()
+    section = _serve_scale_section(
+        spec, seed=args.seed, replica_counts=args.replicas)
+    elapsed = time.perf_counter() - start
+
+    markdown = render_markdown(section)
+    print(markdown)
+    print(f"sweep wall clock: {elapsed:.1f}s")
+    if args.summary is not None:
+        with open(args.summary, "a") as handle:
+            handle.write(markdown)
+
+    if args.merge is not None:
+        results = json.loads(args.merge.read_text())
+        results["serve_scale"] = section
+        args.merge.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"merged serve_scale section into {args.merge}")
+
+    if args.budget is not None and elapsed > args.budget:
+        print(
+            f"BUDGET EXCEEDED: serve_scale sweep took {elapsed:.1f}s "
+            f"(budget {args.budget:.0f}s)", file=sys.stderr)
+        return 3
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

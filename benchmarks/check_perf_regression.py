@@ -37,6 +37,7 @@ GATED_METRICS = {
     "causal": "rows_per_sec",
     "robust": "rows_per_sec",
     "plan": "rows_per_sec",
+    "serve_scale": "rows_per_sec",
 }
 
 #: Reported in the table but never failing: training throughput and the

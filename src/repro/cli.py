@@ -49,6 +49,16 @@ def build_parser():
                         help="pipeline artifact store directory (serve-demo)")
     parser.add_argument("--rows", type=int, default=128,
                         help="batch size the serve-demo answers")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="serve-demo replica count: N > 1 serves the "
+                             "batch through a consistent-hash-routed "
+                             "WorkerPool of N warm replicas sharing one "
+                             "pipeline and prints per-replica stats")
+    parser.add_argument("--async", dest="use_async", action="store_true",
+                        help="serve-demo answers through the asyncio "
+                             "coalescing front (single-row requests "
+                             "micro-batched into pool flushes) instead of "
+                             "one synchronous batch call")
     parser.add_argument("--scenario", default=None,
                         help="registered scenario name, e.g. adult/face "
                              "(run-scenario)")
@@ -148,7 +158,7 @@ def _run_discover(dataset, scale, seed, out_dir):
 
 def _run_serve_demo(dataset, scale, seed, out_dir, artifact_dir, rows,
                     strategy_name=None, density_name=None, causal_name=None,
-                    ensemble_size=None):
+                    ensemble_size=None, workers=1, use_async=False):
     """Train-or-load an artifact, then serve a warm-start batch twice.
 
     Demonstrates the full serving loop: ensure a fresh artifact in the
@@ -173,6 +183,17 @@ def _run_serve_demo(dataset, scale, seed, out_dir, artifact_dir, rows,
     artifact and served from the warm start (``ensemble="store"``):
     every served batch is scored against all members and quorum-robust
     candidates win selection.
+
+    With ``--workers N`` (N > 1) or ``--async`` the same batch is
+    additionally served through the scaled tier: a
+    :class:`repro.serve.WorkerPool` of N warm replicas sharing one
+    pipeline (shared-memory weights, one compiled execution state,
+    consistent-hash routing), answered either as one routed batch call
+    or — with ``--async`` — one row at a time through the
+    :class:`repro.serve.AsyncExplanationService` coalescing front.  A
+    per-replica stats table (requests, cache hit rate, mean coalesced
+    batch size) from the pool-level ``stats()`` aggregation is printed
+    below the timings.
     """
     import time
 
@@ -289,10 +310,68 @@ def _run_serve_demo(dataset, scale, seed, out_dir, artifact_dir, rows,
                               f"{density_name}, served from store state"])
     if strategy is not None:
         table_rows.insert(1, ["fit strategy", fit_seconds, served])
+
+    pool_table = None
+    if workers > 1 or use_async:
+        from .serve import AsyncExplanationService, WorkerPool
+
+        start = time.perf_counter()
+        pool = WorkerPool(store, name, n_replicas=max(1, workers),
+                          strategy=strategy, overlays=overlays)
+        pool_warm_seconds = time.perf_counter() - start
+        try:
+            start = time.perf_counter()
+            if use_async:
+                import asyncio
+
+                async def _serve_async():
+                    front = AsyncExplanationService(pool)
+                    results = await front.explain_many(batch)
+                    await front.aclose()
+                    return results
+
+                async_results = asyncio.run(_serve_async())
+                validity = (
+                    sum(r["valid"] for r in async_results) / len(batch))
+                mode = f"async front ({pool.n_replicas} replicas)"
+            else:
+                pool_result = pool.explain_batch(batch)
+                validity = pool_result.validity_rate
+                mode = f"pool batch ({pool.n_replicas} replicas)"
+            pool_seconds = time.perf_counter() - start
+            pool_stats = pool.stats()
+        finally:
+            pool.close()
+        table_rows.append(
+            ["warm-start pool", pool_warm_seconds,
+             f"{pool.n_replicas} replicas, shared weights "
+             f"{pool_stats['aggregate']['shared_weight_bytes']} bytes"])
+        table_rows.append(
+            [mode, pool_seconds,
+             f"{len(batch)} rows, validity {validity:.2f}"])
+        replica_rows = [
+            [entry["replica"], entry["requests"],
+             f"{100 * entry['hit_rate']:.1f}%",
+             round(entry["mean_batch_size"], 2)]
+            for entry in pool_stats["per_replica"]
+        ]
+        aggregate = pool_stats["aggregate"]
+        replica_rows.append(
+            ["all", aggregate["requests"],
+             f"{100 * aggregate['hit_rate']:.1f}%",
+             round(aggregate["mean_batch_size"], 2)])
+        pool_table = render_table(
+            ["replica", "requests", "cache hit rate", "mean batch size"],
+            replica_rows,
+            title=f"POOL STATS ({aggregate['replicas']} replicas, "
+                  f"{aggregate['backend']} backend)")
+
     table = render_table(
         ["stage", "seconds", "detail"], table_rows,
         title=f"SERVE DEMO ({dataset}, artifact {name}, strategy {served})",
         digits=4)
+    if pool_table is not None:
+        table = f"{table}\n\n{pool_table}"
     _emit(table, out_dir, f"serve_demo_{dataset}.txt")
 
 
@@ -406,7 +485,9 @@ def main(argv=None):
                         strategy_name=args.strategy,
                         density_name=args.density,
                         causal_name=args.causal,
-                        ensemble_size=args.ensemble)
+                        ensemble_size=args.ensemble,
+                        workers=args.workers,
+                        use_async=args.use_async)
     if args.command == "run-scenario":
         if args.scenario is None:
             print("run-scenario requires --scenario (see list-scenarios)")

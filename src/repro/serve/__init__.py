@@ -14,7 +14,15 @@ servable system:
   for the model state persisted next to them.
 * :mod:`repro.serve.service` -- :class:`ExplanationService`, warm-start
   batch serving with an LRU result cache and single-row micro-batching.
-* :mod:`repro.serve.cache` -- the LRU cache primitive.
+* :mod:`repro.serve.cache` -- the thread-safe LRU cache primitive.
+* :mod:`repro.serve.scale` -- the horizontally scaled tier:
+  :class:`WorkerPool` (N warm replicas, one shared pipeline, one
+  compiled plan) behind :class:`AsyncExplanationService` (asyncio
+  request coalescing).
+* :mod:`repro.serve.shm` -- shared-memory model weights, one physical
+  copy across every replica.
+* :mod:`repro.serve.routing` -- consistent-hash request routing that
+  keeps replica-local caches hot as the pool scales.
 """
 
 from .cache import LRUResultCache
@@ -26,7 +34,15 @@ from .pipeline import (
     train_pipeline,
     train_shared_blackbox,
 )
-from .service import ExplainTicket, ExplanationService
+from .routing import ConsistentHashRing, request_key
+from .scale import AsyncExplanationService, WorkerPool
+from .service import ExplainTicket, ExplanationService, PendingTicketError
+from .shm import (
+    SharedWeights,
+    attach_module,
+    attach_pipeline,
+    pipeline_weight_arrays,
+)
 from .store import (
     ARTIFACT_FORMAT_VERSION,
     ArtifactError,
@@ -41,18 +57,26 @@ __all__ = [
     "ARTIFACT_FORMAT_VERSION",
     "ArtifactError",
     "ArtifactStore",
+    "AsyncExplanationService",
+    "ConsistentHashRing",
     "ExplainTicket",
     "ExplanationService",
     "LRUResultCache",
     "OverlayKind",
+    "PendingTicketError",
     "Persistable",
+    "SharedWeights",
     "StaleArtifactError",
     "TrainedPipeline",
+    "WorkerPool",
+    "attach_module",
+    "attach_pipeline",
     "fingerprint_state",
     "load_bundle",
     "overlay_kinds",
     "pipeline_fingerprint",
     "register_overlay_kind",
+    "request_key",
     "train_pipeline",
     "train_shared_blackbox",
 ]

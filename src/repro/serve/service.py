@@ -32,6 +32,7 @@ the causal fingerprint.
 
 from __future__ import annotations
 
+import threading
 import warnings
 
 import numpy as np
@@ -46,7 +47,20 @@ from .cache import LRUResultCache
 #: order the service constructor takes them.
 _SERVICE_OVERLAYS = ("density", "causal", "ensemble")
 
-__all__ = ["ExplainTicket", "ExplanationService"]
+__all__ = ["ExplainTicket", "ExplanationService", "PendingTicketError"]
+
+
+class PendingTicketError(RuntimeError):
+    """A ticket's result was read before the owning service flushed it.
+
+    Raised by :meth:`ExplainTicket.result` on a never-flushed ticket —
+    the fix is almost always a missing ``service.flush()`` call between
+    ``submit`` and ``result``.  The async serving front
+    (:class:`repro.serve.AsyncExplanationService`) raises the same error
+    when an awaited request times out before its coalesced batch was
+    flushed, so both serving styles report the one failure mode with the
+    one exception type.
+    """
 
 
 class ExplainTicket:
@@ -73,7 +87,9 @@ class ExplainTicket:
     def result(self):
         """The resolved result dict; raises until the service flushes."""
         if self._result is None:
-            raise RuntimeError("ticket is not resolved; call service.flush()")
+            raise PendingTicketError(
+                "ticket is not resolved yet: the owning service has not "
+                "flushed it — call service.flush() after submitting")
         return self._result
 
 
@@ -166,6 +182,11 @@ class ExplanationService:
         self._compiled_plan = None
         self.cache = LRUResultCache(cache_size)
         self._pending = []
+        #: Guards the pending-ticket queue and the serving counters so a
+        #: flush racing an explain_batch from another thread can neither
+        #: lose tickets nor tear the counter snapshot ``stats`` returns
+        #: (the cache itself is independently lock-protected).
+        self._lock = threading.RLock()
         self.batches_served = 0
         self.rows_served = 0
         self.flushes = 0
@@ -594,8 +615,9 @@ class ExplanationService:
                     (sub_cf[j].copy(), int(sub_predicted[j]), bool(sub_feasible[j])),
                 )
 
-        self.batches_served += 1
-        self.rows_served += n_rows
+        with self._lock:
+            self.batches_served += 1
+            self.rows_served += n_rows
         return CFBatchResult(
             x=rows,
             x_cf=x_cf,
@@ -618,13 +640,15 @@ class ExplanationService:
         row = np.asarray(row, dtype=np.float64).reshape(-1)
         check_encoded_rows(row.reshape(1, -1), self.encoder, "row")
         ticket = ExplainTicket(row, desired)
-        self._pending.append(ticket)
+        with self._lock:
+            self._pending.append(ticket)
         return ticket
 
     @property
     def pending(self):
         """Number of tickets waiting for a flush."""
-        return len(self._pending)
+        with self._lock:
+            return len(self._pending)
 
     def flush(self, n_candidates=8, rng=None):
         """Resolve every pending ticket with one vectorized sweep.
@@ -639,10 +663,13 @@ class ExplanationService:
         ``explain_batch`` always answer with the same method.  Returns
         the resolved tickets.
         """
-        if not self._pending:
-            return []
-        tickets = self._pending
-        self._pending = []
+        # swap the queue atomically: a concurrent submit lands either in
+        # this flush or the next one, never in both and never in neither
+        with self._lock:
+            if not self._pending:
+                return []
+            tickets = self._pending
+            self._pending = []
 
         rows = np.stack([ticket.row for ticket in tickets])
         raw = [-1 if ticket.desired is None else int(ticket.desired) for ticket in tickets]
@@ -660,6 +687,7 @@ class ExplanationService:
                 ticket._result = {
                     "x_cf": result.x_cf[i],
                     "desired": int(target),
+                    "predicted": int(result.predicted[i]),
                     "valid": bool(result.valid[i]),
                     "feasible": bool(result.feasible[i]),
                     "chosen": int(diagnostics["chosen"][i]),
@@ -675,28 +703,88 @@ class ExplanationService:
             )
             for ticket, candidate_set, target in zip(tickets, candidate_sets, desired):
                 index = _pick_candidate(candidate_set)
+                valid = bool(candidate_set.valid[index])
                 ticket._result = {
                     "x_cf": candidate_set.candidates[index],
                     "desired": int(target),
-                    "valid": bool(candidate_set.valid[index]),
+                    # valid means predict == desired; binary classes make
+                    # the chosen candidate's prediction recoverable
+                    # without a second black-box call
+                    "predicted": int(target) if valid else 1 - int(target),
+                    "valid": valid,
                     "feasible": bool(candidate_set.feasible[index]),
                     "chosen": index,
                     "n_usable": int(candidate_set.usable_mask.sum()),
                 }
-        self.flushes += 1
-        self.rows_coalesced += len(tickets)
+        with self._lock:
+            self.flushes += 1
+            self.rows_coalesced += len(tickets)
         return tickets
+
+    # -- execution-state sharing ----------------------------------------------
+    def adopt_execution_from(self, sibling):
+        """Reuse a sibling replica's compiled execution state.
+
+        A scaled-out worker pool runs N services over ONE shared
+        pipeline; without sharing, every replica would build its own
+        :class:`EngineRunner`, its own core strategy and — on the plan
+        engine — compile its own :class:`ExplainPlan`.  This adopts the
+        sibling's runner, core strategy and compiled plan so the pool
+        holds exactly one of each (the runner and plan keep all state at
+        construction time, so concurrent replay is safe).
+
+        Only legal between services hosting the *identical* model
+        objects and execution configuration — anything else would let a
+        cache key describe one configuration while another one serves,
+        so it raises ``ValueError`` instead.
+        """
+        mismatched = [
+            name
+            for name, mine, theirs in (
+                ("strategy", self.strategy, sibling.strategy),
+                ("density", self.density, sibling.density),
+                ("causal", self.causal, sibling.causal),
+                ("ensemble", self.ensemble, sibling.ensemble),
+            )
+            if mine is not theirs
+        ]
+        if self.engine != sibling.engine:
+            mismatched.append("engine")
+        if self.plan_backend != sibling.plan_backend:
+            mismatched.append("plan_backend")
+        if (
+            self.density_weight != sibling.density_weight
+            or self.density_candidates != sibling.density_candidates
+        ):
+            mismatched.append("density configuration")
+        if self.robust_quorum != sibling.robust_quorum:
+            mismatched.append("robust_quorum")
+        if mismatched:
+            raise ValueError(
+                "cannot adopt execution state across differently configured "
+                f"services (mismatched: {', '.join(mismatched)})")
+        self._runner = sibling.runner
+        if sibling.strategy is None:
+            self._core_strategy = sibling.core_strategy
+        self._compiled_plan = sibling.plan
+        return self
 
     # -- introspection --------------------------------------------------------
     @property
     def stats(self):
-        """Serving + cache counters for dashboards and tests."""
-        counters = {
-            "batches_served": self.batches_served,
-            "rows_served": self.rows_served,
-            "flushes": self.flushes,
-            "rows_coalesced": self.rows_coalesced,
-        }
+        """Serving + cache counters for dashboards and tests.
+
+        The serving counters are read under the service lock and the
+        cache counters under the cache's own lock, so each group is a
+        consistent snapshot even under concurrent traffic.
+        """
+        with self._lock:
+            counters = {
+                "batches_served": self.batches_served,
+                "rows_served": self.rows_served,
+                "flushes": self.flushes,
+                "rows_coalesced": self.rows_coalesced,
+            }
         counters.update({f"cache_{k}": v for k, v in self.cache.stats.items()})
         return counters
 

@@ -1,0 +1,248 @@
+"""Shared-memory model weights for multi-replica serving.
+
+A scaled-out serving tier runs N warm replicas of the same trained
+pipeline.  Loading the artifact store N times would hold N copies of
+every weight matrix — the black-box classifier, the CF-VAE and each
+hosted overlay's arrays (density reference sets, causal equation
+parameters, ensemble member stacks).  This module packs all of those
+arrays once into a single :class:`multiprocessing.shared_memory`
+segment and hands every replica zero-copy read-only views into it:
+
+* thread-backed replicas bind their module parameters straight onto the
+  views (``np.shares_memory`` with the segment holds, pinned by the
+  round-trip tests);
+* process-backed replicas attach the same segment by name through the
+  picklable :meth:`SharedWeights.spec` handle, so even across address
+  spaces the weights exist once in physical memory.
+
+The views are read-only on purpose: serving is inference-only, and a
+replica accidentally writing through a view would silently corrupt
+every other replica.  Anything that must mutate weights (training,
+rollover) goes through the artifact store, never through this segment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "SharedWeights",
+    "attach_module",
+    "attach_pipeline",
+    "pipeline_weight_arrays",
+]
+
+#: Key prefixes of the two pipeline model families inside a segment.
+BLACKBOX_PREFIX = "blackbox/"
+CFVAE_PREFIX = "cfvae/"
+
+
+def _overlay_prefix(kind):
+    """Key prefix of one hosted overlay's arrays inside a segment."""
+    return f"overlay:{kind}/"
+
+
+class SharedWeights:
+    """One shared-memory segment holding many named float arrays.
+
+    Built with :meth:`publish` (allocates the segment and copies every
+    array in exactly once) or :meth:`attach` (maps an existing segment
+    by name, e.g. from a worker process).  Views returned by
+    :meth:`view` / :meth:`views` are read-only ndarrays backed directly
+    by the segment — no copy, ever.
+    """
+
+    def __init__(self, segment, manifest, owner):
+        self._segment = segment
+        self._manifest = manifest
+        self._owner = owner
+        self._closed = False
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def publish(cls, arrays, name=None):
+        """Pack ``{key: ndarray}`` into a fresh shared segment.
+
+        Array bytes are laid out back to back (C-contiguous); the
+        manifest records each key's ``(offset, shape, dtype)`` triple so
+        :meth:`attach` can rebuild the views in any process from the
+        segment name alone.
+        """
+        from multiprocessing import shared_memory
+
+        manifest = {}
+        offset = 0
+        packed = {}
+        for key in sorted(arrays):
+            array = np.ascontiguousarray(arrays[key])
+            manifest[key] = (offset, array.shape, array.dtype.str)
+            packed[key] = array
+            offset += array.nbytes
+        segment = shared_memory.SharedMemory(
+            create=True, size=max(offset, 1), name=name)
+        for key, (start, _shape, _dtype) in manifest.items():
+            array = packed[key]
+            target = np.ndarray(
+                array.shape, dtype=array.dtype, buffer=segment.buf,
+                offset=start)
+            target[...] = array
+        return cls(segment, manifest, owner=True)
+
+    @classmethod
+    def attach(cls, spec):
+        """Map an existing segment from a :meth:`spec` handle."""
+        from multiprocessing import shared_memory
+
+        name, manifest = spec
+        manifest = {
+            key: (int(offset), tuple(shape), str(dtype))
+            for key, (offset, shape, dtype) in manifest.items()
+        }
+        segment = shared_memory.SharedMemory(name=name)
+        try:
+            # attaching registers the segment with this process's
+            # resource tracker, which would unlink it out from under the
+            # owner at interpreter shutdown; only the publisher owns the
+            # segment's lifetime
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker layout varies
+            pass
+        return cls(segment, manifest, owner=False)
+
+    def spec(self):
+        """Picklable ``(segment name, manifest)`` handle for :meth:`attach`."""
+        return (
+            self._segment.name,
+            {
+                key: (offset, list(shape), dtype)
+                for key, (offset, shape, dtype) in self._manifest.items()
+            },
+        )
+
+    # -- access --------------------------------------------------------------
+    def keys(self):
+        """Sorted array keys stored in the segment."""
+        return sorted(self._manifest)
+
+    def view(self, key):
+        """Zero-copy read-only ndarray view of one stored array."""
+        offset, shape, dtype = self._manifest[key]
+        array = np.ndarray(
+            tuple(shape), dtype=np.dtype(dtype), buffer=self._segment.buf,
+            offset=offset)
+        array.flags.writeable = False
+        return array
+
+    def views(self, prefix=""):
+        """``{key: view}`` for every key under ``prefix`` (stripped)."""
+        return {
+            key[len(prefix):]: self.view(key)
+            for key in self._manifest
+            if key.startswith(prefix)
+        }
+
+    @property
+    def nbytes(self):
+        """Total packed payload size in bytes (one copy, shared by all)."""
+        return sum(
+            int(np.prod(shape)) * np.dtype(dtype).itemsize
+            for _offset, shape, dtype in self._manifest.values()
+        )
+
+    def owns_buffer_of(self, array):
+        """Whether ``array``'s memory lives inside this segment."""
+        probe = np.ndarray(
+            (self._segment.size,), dtype=np.uint8, buffer=self._segment.buf)
+        return np.shares_memory(probe, array)
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self):
+        """Release this handle; the owner also frees the segment itself."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._owner:
+            try:
+                self._segment.unlink()
+            except FileNotFoundError:  # already unlinked by another owner
+                pass
+        try:
+            self._segment.close()
+        except BufferError:
+            # replica modules still hold views into the segment; the
+            # mapping is released when they are garbage collected, and
+            # the unlink above already freed the name
+            pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+
+def pipeline_weight_arrays(pipeline, overlays=None):
+    """Every array a serving replica needs, keyed for one shared segment.
+
+    Black-box and CF-VAE parameters come from the modules'
+    ``state_dict`` (frozen parameters included); each hosted overlay
+    contributes the array entries of its persistable ``get_state``.
+    """
+    explainer = pipeline.explainer
+    arrays = {
+        BLACKBOX_PREFIX + key: value
+        for key, value in explainer.blackbox.state_dict().items()
+    }
+    arrays.update({
+        CFVAE_PREFIX + key: value
+        for key, value in explainer.generator.vae.state_dict().items()
+    })
+    for kind, model in (overlays or {}).items():
+        if model is None:
+            continue
+        state = model.get_state()
+        arrays.update({
+            _overlay_prefix(kind) + key: value
+            for key, value in state.items()
+            if isinstance(value, np.ndarray)
+        })
+    return arrays
+
+
+def attach_module(module, shared, prefix):
+    """Rebind ``module``'s parameters onto a segment's read-only views.
+
+    After this, the module holds NO private copy of its weights: every
+    parameter's ``.data`` is a view into the shared segment.  The
+    parameter set must match the segment's keys under ``prefix`` exactly
+    (same names, same shapes) — a drifted module raises instead of
+    silently serving half-shared weights.
+    """
+    views = shared.views(prefix)
+    parameters = dict(module.named_parameters(include_frozen=True))
+    missing = set(parameters) - set(views)
+    unexpected = set(views) - set(parameters)
+    if missing or unexpected:
+        raise KeyError(
+            f"shared weights under {prefix!r} do not match the module: "
+            f"missing={sorted(missing)}, unexpected={sorted(unexpected)}")
+    for name, tensor in parameters.items():
+        view = views[name]
+        if view.shape != tensor.data.shape:
+            # checked for every parameter before rebinding any, so a
+            # drifted module is left untouched rather than half-shared
+            raise ValueError(
+                f"shape mismatch for {prefix}{name}: segment has "
+                f"{view.shape}, module has {tensor.data.shape}")
+    for name, tensor in parameters.items():
+        tensor.data = views[name]
+    return module
+
+
+def attach_pipeline(pipeline, shared):
+    """Bind a pipeline's black-box and CF-VAE onto a shared segment."""
+    attach_module(pipeline.explainer.blackbox, shared, BLACKBOX_PREFIX)
+    attach_module(pipeline.explainer.generator.vae, shared, CFVAE_PREFIX)
+    return pipeline

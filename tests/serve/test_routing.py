@@ -1,0 +1,77 @@
+"""Tests for consistent-hash request routing (repro.serve.routing)."""
+
+import numpy as np
+import pytest
+
+from repro.serve import ConsistentHashRing, request_key
+
+
+def _keys(n, width=8, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = rng.random((n, width))
+    return [request_key("fp", row, 0) for row in rows]
+
+
+class TestRequestKey:
+    def test_deterministic_for_identical_requests(self):
+        row = np.linspace(0.0, 1.0, 7)
+        assert request_key("fp", row, 1) == request_key("fp", row.copy(), 1)
+
+    def test_distinguishes_fingerprint_desired_and_row(self):
+        row = np.linspace(0.0, 1.0, 7)
+        other = row.copy()
+        other[3] += 1e-9
+        base = request_key("fp", row, 1)
+        assert request_key("fp2", row, 1) != base
+        assert request_key("fp", row, 0) != base
+        assert request_key("fp", other, 1) != base
+
+    def test_flip_differs_from_explicit_class(self):
+        row = np.linspace(0.0, 1.0, 7)
+        assert request_key("fp", row, None) != request_key("fp", row, 0)
+        assert request_key("fp", row, None) != request_key("fp", row, 1)
+
+    def test_accepts_non_contiguous_rows(self):
+        matrix = np.random.default_rng(3).random((4, 10))
+        sliced = matrix[:, ::2]  # non-contiguous view
+        assert (request_key("fp", sliced[0], 0)
+                == request_key("fp", np.ascontiguousarray(sliced[0]), 0))
+
+
+class TestConsistentHashRing:
+    def test_rejects_empty_and_duplicate_nodes(self):
+        with pytest.raises(ValueError, match="at least one node"):
+            ConsistentHashRing([])
+        with pytest.raises(ValueError, match="duplicate"):
+            ConsistentHashRing([0, 1, 0])
+        with pytest.raises(ValueError, match="points"):
+            ConsistentHashRing([0, 1], points=0)
+
+    def test_same_key_same_node(self):
+        ring = ConsistentHashRing(range(4))
+        for key in _keys(32):
+            assert ring.node_for(key) == ring.node_for(key)
+
+    def test_every_node_receives_traffic(self):
+        ring = ConsistentHashRing(range(4), points=64)
+        distribution = ring.distribution(_keys(512))
+        assert set(distribution) == {0, 1, 2, 3}
+        assert all(count > 0 for count in distribution.values())
+        assert sum(distribution.values()) == 512
+
+    def test_distribution_roughly_balanced(self):
+        ring = ConsistentHashRing(range(4), points=128)
+        distribution = ring.distribution(_keys(2000))
+        # virtual nodes keep shards within a loose band of the mean
+        assert max(distribution.values()) < 4 * min(distribution.values())
+
+    def test_resize_moves_bounded_fraction_of_keys(self):
+        keys = _keys(2000)
+        before = ConsistentHashRing(range(4), points=64)
+        after = ConsistentHashRing(range(5), points=64)
+        moved = sum(before.node_for(k) != after.node_for(k) for k in keys)
+        # the classic bound is ~1/(N+1) = 20%; allow headroom for hash noise
+        assert moved / len(keys) < 0.35
+
+    def test_len_counts_physical_nodes(self):
+        assert len(ConsistentHashRing(["a", "b", "c"], points=16)) == 3

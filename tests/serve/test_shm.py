@@ -1,0 +1,151 @@
+"""Tests for shared-memory model weights (repro.serve.shm)."""
+
+import numpy as np
+import pytest
+
+from repro.serve import SharedWeights, attach_pipeline, pipeline_weight_arrays
+from repro.serve.shm import BLACKBOX_PREFIX, attach_module
+
+
+@pytest.fixture()
+def arrays():
+    rng = np.random.default_rng(7)
+    return {
+        "w1": rng.random((5, 3)),
+        "b1": rng.random(3),
+        "w2": rng.random((3, 1)).astype(np.float32),
+    }
+
+
+class TestSharedWeights:
+    def test_publish_round_trips_every_array(self, arrays):
+        with SharedWeights.publish(arrays) as shared:
+            assert shared.keys() == sorted(arrays)
+            for key, value in arrays.items():
+                view = shared.view(key)
+                np.testing.assert_array_equal(view, value)
+                assert view.dtype == value.dtype
+
+    def test_views_are_read_only_and_zero_copy(self, arrays):
+        with SharedWeights.publish(arrays) as shared:
+            view = shared.view("w1")
+            assert not view.flags.writeable
+            with pytest.raises(ValueError):
+                view[0, 0] = 99.0
+            assert shared.owns_buffer_of(view)
+            assert not shared.owns_buffer_of(arrays["w1"])
+
+    def test_attach_maps_the_same_segment(self, arrays):
+        with SharedWeights.publish(arrays) as shared:
+            spec = shared.spec()
+            attached = SharedWeights.attach(spec)
+            try:
+                for key, value in arrays.items():
+                    np.testing.assert_array_equal(attached.view(key), value)
+                # one physical copy: publisher writes are not possible
+                # (views are read-only) but both handles map one buffer
+                assert attached.nbytes == shared.nbytes
+            finally:
+                attached.close()
+
+    def test_spec_is_plain_picklable_data(self, arrays):
+        import pickle
+
+        with SharedWeights.publish(arrays) as shared:
+            spec = pickle.loads(pickle.dumps(shared.spec()))
+            attached = SharedWeights.attach(spec)
+            try:
+                np.testing.assert_array_equal(
+                    attached.view("b1"), arrays["b1"])
+            finally:
+                attached.close()
+
+    def test_views_prefix_filter_strips_prefix(self, arrays):
+        prefixed = {f"m/{key}": value for key, value in arrays.items()}
+        with SharedWeights.publish(prefixed) as shared:
+            views = shared.views("m/")
+            assert set(views) == set(arrays)
+
+    def test_close_is_idempotent(self, arrays):
+        shared = SharedWeights.publish(arrays)
+        shared.close()
+        shared.close()
+
+
+class TestAttachPipeline:
+    def test_pipeline_serves_bit_identical_from_shared_views(
+            self, tiny_pipeline, explain_rows):
+        blackbox = tiny_pipeline.explainer.blackbox
+        vae = tiny_pipeline.explainer.generator.vae
+        originals = {
+            "blackbox": {name: tensor.data for name, tensor
+                         in blackbox.named_parameters(include_frozen=True)},
+            "vae": {name: tensor.data for name, tensor
+                    in vae.named_parameters(include_frozen=True)},
+        }
+        before = blackbox.predict(explain_rows)
+        generated = tiny_pipeline.explainer.generator.generate(
+            explain_rows, 1 - before)
+
+        shared = SharedWeights.publish(
+            pipeline_weight_arrays(tiny_pipeline))
+        try:
+            attach_pipeline(tiny_pipeline, shared)
+            for name, tensor in blackbox.named_parameters(
+                    include_frozen=True):
+                assert shared.owns_buffer_of(tensor.data), name
+            np.testing.assert_array_equal(
+                blackbox.predict(explain_rows), before)
+            np.testing.assert_array_equal(
+                tiny_pipeline.explainer.generator.generate(
+                    explain_rows, 1 - before),
+                generated)
+        finally:
+            # the fixture is session-scoped: rebind the private arrays
+            # back so later tests see an unshared pipeline
+            for name, tensor in blackbox.named_parameters(
+                    include_frozen=True):
+                tensor.data = originals["blackbox"][name]
+            for name, tensor in vae.named_parameters(include_frozen=True):
+                tensor.data = originals["vae"][name]
+            shared.close()
+
+    def test_attach_module_rejects_key_drift(self, tiny_pipeline):
+        blackbox = tiny_pipeline.explainer.blackbox
+        arrays = {
+            BLACKBOX_PREFIX + key: value
+            for key, value in blackbox.state_dict().items()
+        }
+        renamed = dict(arrays)
+        first = sorted(renamed)[0]
+        renamed[first + "_drifted"] = renamed.pop(first)
+        with SharedWeights.publish(renamed) as shared:
+            with pytest.raises(KeyError, match="do not match"):
+                attach_module(blackbox, shared, BLACKBOX_PREFIX)
+
+    def test_attach_module_rejects_shape_drift(self, tiny_pipeline):
+        blackbox = tiny_pipeline.explainer.blackbox
+        arrays = {
+            BLACKBOX_PREFIX + key: value
+            for key, value in blackbox.state_dict().items()
+        }
+        first = sorted(arrays)[0]
+        arrays[first] = np.zeros(np.asarray(arrays[first]).size + 1)
+        with SharedWeights.publish(arrays) as shared:
+            with pytest.raises(ValueError, match="shape mismatch"):
+                attach_module(blackbox, shared, BLACKBOX_PREFIX)
+
+    def test_overlay_arrays_join_the_segment(self, tiny_pipeline):
+        from repro.density import KnnDensity
+
+        x_train, _ = tiny_pipeline.bundle.split("train")
+        density = KnnDensity(k_neighbors=5).fit(x_train[:64])
+        arrays = pipeline_weight_arrays(
+            tiny_pipeline, overlays={"density": density, "causal": None})
+        overlay_keys = [key for key in arrays
+                        if key.startswith("overlay:density/")]
+        assert overlay_keys
+        with SharedWeights.publish(arrays) as shared:
+            for key in overlay_keys:
+                np.testing.assert_array_equal(
+                    shared.view(key), arrays[key])

@@ -21,7 +21,7 @@ def gate():
 
 def _results(train=100.0, predict=1000.0, candidates=500.0,
              constraint_eval=2000.0, scenarios=50.0, density=300.0,
-             causal=700.0, robust=400.0, plan=600.0):
+             causal=700.0, robust=400.0, plan=600.0, serve_scale=800.0):
     return {
         "train": {"rows_per_sec": train},
         "predict": {"rows_per_sec": predict},
@@ -32,6 +32,7 @@ def _results(train=100.0, predict=1000.0, candidates=500.0,
         "causal": {"rows_per_sec": causal},
         "robust": {"rows_per_sec": robust},
         "plan": {"rows_per_sec": plan},
+        "serve_scale": {"rows_per_sec": serve_scale},
     }
 
 
@@ -39,7 +40,7 @@ class TestCompare:
     def test_no_regression_passes(self, gate):
         rows, failures = gate.compare(_results(), _results(predict=990.0))
         assert failures == []
-        assert len(rows) == 9
+        assert len(rows) == 10
 
     def test_density_is_gated(self, gate):
         _, failures = gate.compare(_results(), _results(density=10.0))
@@ -61,6 +62,11 @@ class TestCompare:
         assert len(failures) == 1
         assert "plan" in failures[0]
 
+    def test_serve_scale_is_gated(self, gate):
+        _, failures = gate.compare(_results(), _results(serve_scale=10.0))
+        assert len(failures) == 1
+        assert "serve_scale" in failures[0]
+
     def test_constraint_eval_is_gated(self, gate):
         _, failures = gate.compare(_results(), _results(constraint_eval=100.0))
         assert len(failures) == 1
@@ -80,12 +86,13 @@ class TestCompare:
         del old["causal"]
         del old["robust"]
         del old["plan"]
+        del old["serve_scale"]
         rows, failures = gate.compare(old, _results())
         assert failures == []
         skipped = [r for r in rows if r[2] != r[2]]  # NaN baseline
         assert {r[0] for r in skipped} == {
             "constraint_eval", "scenario_matrix", "density", "causal",
-            "robust", "plan"}
+            "robust", "plan", "serve_scale"}
         markdown = gate.render_markdown(rows, 0.30)
         assert "no baseline" in markdown
 
