@@ -1,0 +1,87 @@
+"""Benchmark: exact vs ANN density queries over growing reference sizes.
+
+Runs :func:`repro.experiments.density_scale.run_density_at_scale` and
+merges the result into ``BENCH_engine.json`` as the ``density_at_scale``
+section, which ``check_perf_regression.py`` gates on ``rows_per_sec``
+(the ANN query rate at the 10k CI-comparable size).  The recall floor
+(``MIN_ANN_RECALL``) is asserted before any timing and the
+``MIN_ANN_SPEEDUP`` floor at 100k+ reference rows — a run that merges a
+section has, by construction, passed the contract.
+
+The reference population is the downloadable UCI Adult Census entry
+(cached under ``$REPRO_DATA_CACHE``, checksum-verified); offline runs
+fall back to a synthetically upsampled population of the same schema,
+recorded in the section's ``source`` field.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_density_at_scale.py \
+        --sizes 1000 10000 100000
+
+or through pytest (CI's budgeted 1k/10k smoke)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_density_at_scale.py -q
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_engine.json"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.density_scale import (  # noqa: E402
+    DEFAULT_SIZES,
+    run_density_at_scale,
+)
+
+#: CI smoke sizes: exact and ANN both finish in seconds, the recall
+#: contract is still exercised on real (or fallback) Adult rows, and the
+#: gated 10k rate is produced.  The 100k/1M speedup sizes are the local
+#: full run's job.
+SMOKE_SIZES = (1_000, 10_000)
+
+
+def merge_into_bench(section, output=DEFAULT_OUTPUT):
+    """Attach the density_at_scale section to BENCH_engine.json."""
+    if output.exists():
+        results = json.loads(output.read_text())
+    else:
+        results = {"benchmark": "engine_fast_path"}
+    results["density_at_scale"] = section
+    output.write_text(json.dumps(results, indent=2) + "\n")
+    return output
+
+
+def test_density_at_scale(artifact_dir):
+    """Pytest entry: recall + rate contract at smoke sizes, JSON merged."""
+    section = run_density_at_scale(sizes=SMOKE_SIZES, seed=0)
+    assert section["rows_per_sec"] > 0
+    assert all(row["recall_at_k"] >= section["recall_floor"]
+               for row in section["sizes"])
+    merge_into_bench(section)
+    artifact = artifact_dir / "bench_density_at_scale.json"
+    artifact.write_text(json.dumps(section, indent=2) + "\n")
+    print(json.dumps(section, indent=2))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES),
+                        help="reference sizes to measure (default: 1k 10k 100k 1M)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--queries", type=int, default=512)
+    parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+    section = run_density_at_scale(
+        sizes=args.sizes, seed=args.seed, n_queries=args.queries)
+    merge_into_bench(section, output=args.output)
+    print(json.dumps(section, indent=2))
+    print(f"\nmerged density_at_scale into {args.output}")
+
+
+if __name__ == "__main__":
+    main()

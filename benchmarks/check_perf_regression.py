@@ -38,6 +38,7 @@ GATED_METRICS = {
     "robust": "rows_per_sec",
     "plan": "rows_per_sec",
     "serve_scale": "rows_per_sec",
+    "density_at_scale": "rows_per_sec",
 }
 
 #: Reported in the table but never failing: training throughput and the

@@ -38,17 +38,25 @@ class FACEExplainer(BaseCFExplainer):
     density_weight:
         Strength of the density penalty: edges through sparse regions
         cost ``distance * (1 + density_weight * normalised_length)``.
+    density_backend:
+        Neighbour backend of the shared vertex index, one of
+        :data:`repro.density.DENSITY_BACKENDS`.  ``"exact"`` keeps the
+        historical bit-identical graph; ``"ann"`` swaps the graph-degree
+        and entry queries onto the batched IVF index for large vertex
+        budgets (``max_vertices`` in the 100k+ range).
     """
 
     name = "face"
 
     def __init__(self, encoder, blackbox, seed=0, k_neighbors=10,
-                 confidence=0.6, max_vertices=2000, density_weight=1.0):
+                 confidence=0.6, max_vertices=2000, density_weight=1.0,
+                 density_backend="exact"):
         super().__init__(encoder, blackbox, seed=seed)
         self.k_neighbors = int(k_neighbors)
         self.confidence = float(confidence)
         self.max_vertices = int(max_vertices)
         self.density_weight = float(density_weight)
+        self.density_backend = str(density_backend)
         self._vertices = None
         self._density = None
         self._dist_to_target = None
@@ -71,7 +79,8 @@ class FACEExplainer(BaseCFExplainer):
         # the shared density layer owns the vertex index: the same
         # estimator answers graph-degree queries here, entry queries in
         # _generate and (via density_score) ad-hoc density questions
-        self._density = KnnDensity(k_neighbors=self.k_neighbors).fit(vertices)
+        self._density = KnnDensity(
+            k_neighbors=self.k_neighbors, backend=self.density_backend).fit(vertices)
 
         n = len(vertices)
         k = min(self.k_neighbors + 1, n)

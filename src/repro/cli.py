@@ -72,6 +72,15 @@ def build_parser():
                              "scenario's density variant; serve-demo fits it, "
                              "persists it to the artifact store and serves "
                              "density-aware from the warm start")
+    parser.add_argument("--density-backend", default=None,
+                        choices=["exact", "ann"],
+                        help="neighbour backend for the density estimator: "
+                             "run-scenario overrides the scenario's "
+                             "density_backend field; serve-demo re-indexes "
+                             "the served density overlay (requires "
+                             "--density). 'exact' is the bit-identical "
+                             "default; 'ann' runs the batched IVF index for "
+                             "large reference populations")
     parser.add_argument("--causal", default=None,
                         choices=["scm", "mined"],
                         help="causal model: run-scenario runs the scenario's "
@@ -157,7 +166,8 @@ def _run_discover(dataset, scale, seed, out_dir):
 
 
 def _run_serve_demo(dataset, scale, seed, out_dir, artifact_dir, rows,
-                    strategy_name=None, density_name=None, causal_name=None,
+                    strategy_name=None, density_name=None,
+                    density_backend=None, causal_name=None,
                     ensemble_size=None, workers=1, use_async=False):
     """Train-or-load an artifact, then serve a warm-start batch twice.
 
@@ -274,8 +284,13 @@ def _run_serve_demo(dataset, scale, seed, out_dir, artifact_dir, rows,
                            ("ensemble", ensemble))
         if spec is not None
     }
+    if density_backend is not None and density_name is None:
+        raise SystemExit(
+            "--density-backend requires --density on serve-demo: there is "
+            "no density overlay to re-index otherwise")
     service = ExplanationService.warm_start(
-        store, name, strategy=strategy, overlays=overlays)
+        store, name, strategy=strategy, overlays=overlays,
+        density_backend=density_backend)
     result = service.explain_batch(batch)
     warm_seconds = time.perf_counter() - start
 
@@ -287,6 +302,8 @@ def _run_serve_demo(dataset, scale, seed, out_dir, artifact_dir, rows,
     served = strategy_name or "core generator"
     if density_name is not None:
         served += f" + {density_name} density"
+        if density_backend is not None:
+            served += f" ({density_backend})"
     if causal_name is not None:
         served += f" + {causal_name} causal"
     if ensemble_size is not None:
@@ -376,7 +393,8 @@ def _run_serve_demo(dataset, scale, seed, out_dir, artifact_dir, rows,
 
 
 def _run_scenario(scenario_name, scale, seed, out_dir, density=None,
-                  causal=None, ensemble=None, engine=None, backend=None):
+                  density_backend=None, causal=None, ensemble=None,
+                  engine=None, backend=None):
     """Run one registered scenario and print its Table IV-style row.
 
     ``density`` / ``causal`` switch to the scenario's ``+<model>``
@@ -384,7 +402,9 @@ def _run_scenario(scenario_name, scale, seed, out_dir, density=None,
     registered, e.g. ``latent`` on a baseline — which then fails with
     the registry's clear error instead of a silent fallback).
     ``ensemble`` switches to the ``+robust`` variant, resized to K
-    members when K differs from the registered default.  ``engine`` /
+    members when K differs from the registered default.
+    ``density_backend`` overrides the scenario's neighbour backend (an
+    ``@ann`` ad-hoc variant) without touching the registry.  ``engine`` /
     ``backend`` pick the execution path (staged chain vs compiled
     :class:`repro.engine.ExplainPlan`) and the plan backend.
     """
@@ -403,6 +423,10 @@ def _run_scenario(scenario_name, scale, seed, out_dir, density=None,
         except KeyError:
             scenario = dataclasses.replace(
                 scenario, name=variant, **{field_name: wanted})
+    if density_backend is not None and scenario.density_backend != density_backend:
+        scenario = dataclasses.replace(
+            scenario, name=f"{scenario.name}@{density_backend}",
+            density_backend=density_backend)
     if ensemble is not None and scenario.ensemble == 0:
         variant = f"{scenario.name}+robust"
         try:
@@ -484,6 +508,7 @@ def main(argv=None):
                         args.artifact_dir, args.rows,
                         strategy_name=args.strategy,
                         density_name=args.density,
+                        density_backend=args.density_backend,
                         causal_name=args.causal,
                         ensemble_size=args.ensemble,
                         workers=args.workers,
@@ -493,7 +518,9 @@ def main(argv=None):
             print("run-scenario requires --scenario (see list-scenarios)")
             return 2
         _run_scenario(args.scenario, args.scale, args.seed, out_dir,
-                      density=args.density, causal=args.causal,
+                      density=args.density,
+                      density_backend=args.density_backend,
+                      causal=args.causal,
                       ensemble=args.ensemble, engine=args.engine,
                       backend=args.backend)
     if args.command == "list-scenarios":

@@ -8,7 +8,10 @@ by the ``ArtifactStore``) and the ``density=`` scenario variants.  See
 ``docs/density.md``.
 """
 
+from .ann import AnnIndex, recall_at_k
 from .base import (
+    DEFAULT_TILE_BUDGET,
+    DENSITY_BACKENDS,
     DENSITY_NAMES,
     DensityModel,
     build_density,
@@ -18,6 +21,9 @@ from .base import (
 from .estimators import GaussianKdeDensity, KnnDensity, LatentDensity
 
 __all__ = [
+    "AnnIndex",
+    "DEFAULT_TILE_BUDGET",
+    "DENSITY_BACKENDS",
     "DENSITY_NAMES",
     "DensityModel",
     "GaussianKdeDensity",
@@ -26,4 +32,5 @@ __all__ = [
     "build_density",
     "density_from_state",
     "fit_class_density",
+    "recall_at_k",
 ]

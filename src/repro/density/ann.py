@@ -1,0 +1,341 @@
+"""Approximate nearest-neighbour index for million-row reference sets.
+
+The exact estimators walk a ``cKDTree``, which degrades toward a linear
+scan in the ~25-dimensional one-hot encoded feature space the pipeline
+actually queries (the curse of dimensionality leaves kd-tree pruning
+nothing to prune).  :class:`AnnIndex` is an IVF-style inverted-file
+index in pure numpy — no new dependencies:
+
+* **fit** runs a small Lloyd's k-means (on a subsample when the
+  reference is large) to place the cell centroids, then assigns every
+  reference row to its nearest cell once, in chunked matmul passes.
+  The float64 reference matrix itself is kept *by reference* — a
+  memory-mapped reference stays memory-mapped; the index adds the
+  centroids, the cell-sorted permutation and a cell-sorted float32
+  working copy (half the reference's bytes) that the query path scans.
+* **query** probes the ``n_probes`` nearest cells per query, then walks
+  the probed cells *cell-major*: each cell's member block is a
+  contiguous slice of a fit-time reordered working copy, so the
+  distances of every query probing that cell come from one small
+  ``dgemm`` instead of a per-candidate gather.  Results scatter into a
+  padded per-query matrix and the top-k falls out of one
+  ``argpartition``.  The working copy is float32 — half the memory
+  traffic of the exact path; fine under a recall (not parity) contract.
+
+The contract is *recall, not parity*: callers that need exact answers
+keep the kd-tree path, and the benchmark/test suite measures
+``recall_at_k`` of this index against it (floor: ≥ 0.9).  Queries whose
+probed cells hold fewer than ``k`` members fall back to an exact scan
+for just those rows, so ``k >= n_reference`` degrades to brute force
+instead of returning padding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["AnnIndex", "recall_at_k"]
+
+#: Element budget (float entries) for the candidate work of one query
+#: chunk; bounds peak memory, never the results.
+DEFAULT_QUERY_BUDGET = 1 << 23
+
+
+class AnnIndex:
+    """Batched IVF (cell-probing) approximate k-NN over a fixed reference.
+
+    Parameters
+    ----------
+    n_cells:
+        Number of k-means cells; defaults to ``round(3.2 * sqrt(n))``
+        at fit time — finer than the classic ``sqrt(n)`` because the
+        cell-major scan makes probing cheap and smaller cells cut the
+        candidate count per query.
+    n_probes:
+        Cells probed per query; defaults to 4, widened on small
+        references until the candidate pool covers ~``10 * k`` rows.
+        More probes buy recall linearly in scan cost.
+    train_size:
+        k-means fits on at most this many sampled rows; the full
+        reference is only touched by the final (chunked) assignment.
+    n_iters:
+        Lloyd iterations; a handful suffices for cell *routing* (the
+        cells need to be balanced, not optimal).
+    seed:
+        Seed for sampling and centroid init — fitting is deterministic.
+    """
+
+    def __init__(self, n_cells=None, n_probes=None, train_size=20000, n_iters=4, seed=0):
+        if n_cells is not None and int(n_cells) < 1:
+            raise ValueError(f"n_cells must be >= 1, got {n_cells}")
+        if n_probes is not None and int(n_probes) < 1:
+            raise ValueError(f"n_probes must be >= 1, got {n_probes}")
+        self.n_cells = None if n_cells is None else int(n_cells)
+        self.n_probes = None if n_probes is None else int(n_probes)
+        self.train_size = int(train_size)
+        self.n_iters = int(n_iters)
+        self.seed = int(seed)
+        self.query_budget = DEFAULT_QUERY_BUDGET
+        self.reference_ = None
+        self.centroids_ = None
+        self._order = None
+        self._starts = None
+        self._counts = None
+        self._sorted = None
+        self._norms = None
+        self._centroids32 = None
+
+    # -- fitting ------------------------------------------------------------
+    def fit(self, reference):
+        """Build the cell index over a ``(n, d)`` reference; returns ``self``."""
+        reference = np.asarray(reference, dtype=np.float64)
+        if reference.ndim != 2 or reference.shape[0] < 1:
+            raise ValueError(
+                f"reference must be a non-empty (n, d) matrix, got shape {reference.shape}")
+        n = len(reference)
+        n_cells = self.n_cells
+        if n_cells is None:
+            n_cells = max(1, int(round(3.2 * np.sqrt(n))))
+        n_cells = min(n_cells, n)
+
+        rng = np.random.default_rng(self.seed)
+        if n > self.train_size:
+            train = reference[np.sort(rng.choice(n, self.train_size, replace=False))]
+        else:
+            train = reference
+        centroids = np.array(train[rng.choice(len(train), n_cells, replace=False)])
+        for _ in range(self.n_iters):
+            assign = _nearest_centroid(train, centroids)
+            counts = np.bincount(assign, minlength=n_cells)
+            sums = np.zeros_like(centroids)
+            for j in range(centroids.shape[1]):
+                sums[:, j] = np.bincount(assign, weights=train[:, j], minlength=n_cells)
+            occupied = counts > 0
+            centroids[occupied] = sums[occupied] / counts[occupied, None]
+            n_empty = int((~occupied).sum())
+            if n_empty:
+                centroids[~occupied] = train[rng.choice(len(train), n_empty)]
+
+        assign = _nearest_centroid(reference, centroids)
+        counts = np.bincount(assign, minlength=n_cells)
+        order = np.argsort(assign, kind="stable")
+
+        self.reference_ = reference
+        self.centroids_ = centroids
+        self._centroids32 = centroids.astype(np.float32)
+        self._order = order
+        self._counts = counts
+        self._starts = np.concatenate(([0], np.cumsum(counts)))
+        # the query working set: cell-sorted float32 rows + their norms,
+        # built in chunks so a memory-mapped reference streams through
+        self._sorted = np.empty((n, reference.shape[1]), dtype=np.float32)
+        step = max(1, self.query_budget // max(1, reference.shape[1]))
+        for start in range(0, n, step):
+            self._sorted[start : start + step] = reference[order[start : start + step]]
+        self._norms = np.einsum("ij,ij->i", self._sorted, self._sorted)
+        return self
+
+    @property
+    def n_reference(self):
+        """Rows in the indexed reference (0 when unfitted)."""
+        return 0 if self.reference_ is None else len(self.reference_)
+
+    def _require_fitted(self):
+        if self.reference_ is None:
+            raise RuntimeError(f"{type(self).__name__} is not fitted; call fit() first")
+
+    # -- querying -----------------------------------------------------------
+    def query(self, points, k):
+        """Approximate ``(distances, indices)`` of the ``k`` nearest rows.
+
+        Mirrors ``scipy.spatial.cKDTree.query``: 1-D input drops the
+        leading axis, ``k == 1`` drops the trailing axis, and requested
+        neighbours beyond ``n_reference`` come back as ``inf`` distance
+        with index ``n`` (after the real, exactly-scanned ``n``).
+        """
+        self._require_fitted()
+        k = int(k)
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        points = np.asarray(points, dtype=np.float64)
+        single = points.ndim == 1
+        if single:
+            points = points[None, :]
+        if points.ndim != 2 or points.shape[1] != self.reference_.shape[1]:
+            raise ValueError(
+                f"query points must be (q, {self.reference_.shape[1]}), got {points.shape}")
+
+        n = len(self.reference_)
+        k_eff = min(k, n)
+        n_queries = len(points)
+        distances = np.full((n_queries, k), np.inf)
+        indices = np.full((n_queries, k), n, dtype=np.intp)
+
+        n_cells = len(self.centroids_)
+        n_probes = self.n_probes
+        if n_probes is None:
+            # small references probe wider so the candidate pool holds
+            # at least ~10 * k rows regardless of cell geometry — at
+            # large n the per-cell population alone clears this and the
+            # flat default wins
+            per_cell = max(1.0, n / n_cells)
+            wanted = min(10.0 * k_eff, float(n))
+            n_probes = max(4, int(np.ceil(wanted / per_cell)))
+        n_probes = min(n_probes, n_cells)
+
+        # expected candidate entries per query bound the chunk size
+        expected = max(1.0, n_probes * n / n_cells)
+        chunk = max(16, int(self.query_budget / expected))
+        points32 = points.astype(np.float32)
+        for start in range(0, n_queries, chunk):
+            stop = min(start + chunk, n_queries)
+            d_chunk, i_chunk = self._query_chunk(points32[start:stop], k_eff, n_probes)
+            distances[start:stop, :k_eff] = d_chunk
+            indices[start:stop, :k_eff] = i_chunk
+
+        if k == 1:
+            distances = distances[:, 0]
+            indices = indices[:, 0]
+        if single:
+            distances = distances[0]
+            indices = indices[0]
+        return distances, indices
+
+    def _query_chunk(self, points, k_eff, n_probes):
+        """Top-``k_eff`` over the probed cells of one float32 query chunk."""
+        n_queries = len(points)
+        cen = self._centroids32
+        n_cells = len(cen)
+        cen_norms = np.einsum("ij,ij->i", cen, cen)
+        cell_sq = cen_norms[None, :] - 2.0 * (points @ cen.T)
+        if n_probes < n_cells:
+            probe = np.argpartition(cell_sq, n_probes - 1, axis=1)[:, :n_probes]
+        else:
+            probe = np.broadcast_to(np.arange(n_cells), (n_queries, n_cells))
+
+        lens = self._counts[probe].sum(axis=1)
+        short = lens < k_eff
+        full = ~short
+
+        out_d = np.empty((n_queries, k_eff))
+        out_i = np.empty((n_queries, k_eff), dtype=np.intp)
+        if short.any():
+            # probed cells cannot seat k neighbours (tiny reference or
+            # k ~ n): scan everything for exactly those queries
+            d, i = self._brute(points[short], k_eff)
+            out_d[short] = d
+            out_i[short] = i
+        if full.any():
+            d, i = self._probe(points[full], probe[full], lens[full], k_eff)
+            out_d[full] = d
+            out_i[full] = i
+        return out_d, out_i
+
+    def _probe(self, points, probe, lens, k_eff):
+        """Cell-major scan: one small matmul per probed cell, then top-k.
+
+        Each query owns a row of a padded candidate matrix, with its
+        probed cells occupying consecutive column spans (the exclusive
+        cumsum of the probed-cell sizes).  Walking cells outer-most
+        means every cell's contiguous member block is scored against
+        all queries probing it in a single ``(q_c, members)`` matmul —
+        no per-candidate gathers anywhere.
+        """
+        n_queries, n_probes = probe.shape
+        counts_q = self._counts[probe]
+        col_off = np.cumsum(counts_q, axis=1) - counts_q
+        width = int(lens.max())
+
+        # invert (query, slot) -> cell: sort the probe list cell-major
+        qid = np.repeat(np.arange(n_queries), n_probes)
+        cells = probe.ravel()
+        col0 = col_off.ravel()
+        order = np.argsort(cells, kind="stable")
+        qid, cells, col0 = qid[order], cells[order], col0[order]
+        group_ends = np.concatenate((np.flatnonzero(np.diff(cells)) + 1, [len(cells)]))
+
+        # ragged layout of every (query, probed-cell, member) entry —
+        # one vectorized pass computes, for each entry, its source row
+        # in the cell-sorted reference and its target slot in the padded
+        # per-query candidate matrix; the loop below only runs matmuls
+        pair_m = self._counts[cells]
+        total = int(pair_m.sum())
+        within = np.arange(total) - np.repeat(np.cumsum(pair_m) - pair_m, pair_m)
+        src = np.repeat(self._starts[cells], pair_m) + within
+        tgt = np.repeat(qid * width + col0, pair_m) + within
+        entry_q = np.repeat(qid, pair_m)
+
+        buf = np.empty(total, dtype=np.float32)
+        cursor = 0
+        start = 0
+        for end in group_ends:
+            cell = cells[start]
+            m = int(self._counts[cell])
+            if m == 0:
+                start = end
+                continue
+            lo = self._starts[cell]
+            qs = qid[start:end]
+            block = points[qs] @ self._sorted[lo : lo + m].T
+            buf[cursor : cursor + block.size] = block.ravel()
+            cursor += block.size
+            start = end
+
+        q_norms = np.einsum("ij,ij->i", points, points)
+        flat_sq = self._norms[src] + q_norms[entry_q] - 2.0 * buf
+        padded = np.full((n_queries, width), np.inf, dtype=np.float32)
+        padded.ravel()[tgt] = flat_sq
+        padded_idx = np.full((n_queries, width), -1, dtype=np.intp)
+        padded_idx.ravel()[tgt] = self._order[src]
+        return _top_k(padded, padded_idx, k_eff)
+
+    def _brute(self, points, k_eff):
+        """Exact full scan (the shortlist-too-small fallback), float32."""
+        q_norms = np.einsum("ij,ij->i", points, points)
+        sq = q_norms[:, None] + self._norms[None, :] - 2.0 * (points @ self._sorted.T)
+        idx = np.broadcast_to(self._order, sq.shape)
+        return _top_k(sq, idx, k_eff)
+
+
+def _nearest_centroid(rows, centroids, budget=DEFAULT_QUERY_BUDGET):
+    """Index of each row's nearest centroid, in chunked matmul passes."""
+    cen_norms = np.einsum("ij,ij->i", centroids, centroids)
+    out = np.empty(len(rows), dtype=np.intp)
+    step = max(1, budget // max(1, len(centroids)))
+    for start in range(0, len(rows), step):
+        block = np.asarray(rows[start : start + step])
+        sq = cen_norms[None, :] - 2.0 * (block @ centroids.T)
+        out[start : start + step] = np.argmin(sq, axis=1)
+    return out
+
+
+def _top_k(sq, idx, k_eff):
+    """Per-row ``k_eff`` smallest of ``sq`` with their ``idx`` labels, sorted."""
+    if k_eff < sq.shape[1]:
+        part = np.argpartition(sq, k_eff - 1, axis=1)[:, :k_eff]
+        sq = np.take_along_axis(sq, part, axis=1)
+        idx = np.take_along_axis(np.asarray(idx), part, axis=1)
+    order = np.argsort(sq, axis=1, kind="stable")
+    sq = np.take_along_axis(sq, order, axis=1).astype(np.float64)
+    idx = np.take_along_axis(np.asarray(idx), order, axis=1)
+    return np.sqrt(np.maximum(sq, 0.0)), idx
+
+
+def recall_at_k(exact_indices, ann_indices):
+    """Mean fraction of the exact k-NN sets the ANN result recovered.
+
+    Both arguments are ``(q, k)`` neighbour-index matrices (the second
+    return of :meth:`AnnIndex.query` / ``cKDTree.query``).  This is the
+    measured contract of the approximate backend — the benchmark and the
+    test suite assert it stays at or above 0.9.
+    """
+    exact_indices = np.atleast_2d(np.asarray(exact_indices))
+    ann_indices = np.atleast_2d(np.asarray(ann_indices))
+    if exact_indices.shape != ann_indices.shape:
+        raise ValueError(
+            f"index matrices differ in shape: {exact_indices.shape} vs {ann_indices.shape}")
+    hits = sum(
+        len(np.intersect1d(exact_row, ann_row))
+        for exact_row, ann_row in zip(exact_indices, ann_indices)
+    )
+    return hits / exact_indices.size

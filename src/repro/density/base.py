@@ -32,10 +32,38 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
-__all__ = ["DENSITY_NAMES", "DensityModel", "build_density", "density_from_state"]
+__all__ = [
+    "DENSITY_BACKENDS",
+    "DENSITY_NAMES",
+    "DEFAULT_TILE_BUDGET",
+    "DensityModel",
+    "build_density",
+    "density_from_state",
+    "fit_class_density",
+]
 
 #: Estimator names the factory accepts.
 DENSITY_NAMES = ("knn", "kde", "latent")
+
+#: Neighbour-query backends the k-NN estimators accept: ``exact`` (the
+#: cKDTree — bit-identical to the historical path, always the default)
+#: or ``ann`` (the batched IVF index of :mod:`repro.density.ann`, which
+#: trades bit-parity for a measured recall@k >= 0.9 contract and scales
+#: to million-row reference populations).
+DENSITY_BACKENDS = ("exact", "ann")
+
+#: Default element budget (float64 entries, ~128 MiB) for any scoring
+#: intermediate proportional to the reference size: the flattened
+#: ``score_tiled`` batch and the KDE ``(chunk, n_reference)`` distance
+#: matrix are both chunked to stay under it.  Estimators accept a
+#: ``tile_budget`` override; ``None`` means this default.
+DEFAULT_TILE_BUDGET = 1 << 24
+
+
+def _tile_chunk_rows(n_reference, tile_budget):
+    """Rows per scoring chunk that keep ``rows * n_reference`` in budget."""
+    budget = DEFAULT_TILE_BUDGET if tile_budget is None else int(tile_budget)
+    return max(1, budget // max(1, int(n_reference)))
 
 
 class DensityModel(ABC):
@@ -68,21 +96,49 @@ class DensityModel(ABC):
     def n_reference(self):
         """Rows in the fitted reference population (0 when unfitted)."""
 
+    # -- backend selection ---------------------------------------------------
+    def with_backend(self, backend, **ann_params):
+        """This estimator on another neighbour backend (see DENSITY_BACKENDS).
+
+        The base implementation only knows the exact path; estimators
+        with an approximate index (the k-NN family) override it.
+        """
+        if backend == "exact":
+            return self
+        raise ValueError(
+            f"{self.kind!r} density has no {backend!r} backend; "
+            f"only the k-NN estimators support {DENSITY_BACKENDS[1:]}"
+        )
+
     # -- tiled sweep scoring -------------------------------------------------
     def score_tiled(self, candidates):
-        """Score a full ``(n_rows, n_candidates, d)`` sweep in one query.
+        """Score a full ``(n_rows, n_candidates, d)`` sweep, flattened.
 
         The compiled path: the sweep is flattened once and handed to the
-        backend as a single batch, so a density-aware selection over
-        ``n * m`` candidates costs one tree/KDE query instead of ``n``.
-        For per-point backends (the k-NN tree) values are bit-identical
-        to :meth:`score_tiled_loop`; estimators that run matmuls (KDE,
-        latent encoding) are numerically equivalent but may differ at
-        float precision because BLAS blocking varies with batch shape.
+        backend in batches bounded by the estimator's tile budget
+        (``tile_budget`` attribute, :data:`DEFAULT_TILE_BUDGET` rows ×
+        reference elements by default), so a density-aware selection
+        over ``n * m`` candidates costs a handful of bulk queries
+        instead of ``n`` — and a 100k-row reference cannot provoke a
+        multi-GB intermediate.  Chunking is over *query rows* and every
+        estimator's per-row math is row-independent, so the result is
+        bit-identical to the historical single-call flattening at any
+        budget.  For per-point backends (the k-NN tree) values are also
+        bit-identical to :meth:`score_tiled_loop`; estimators that run
+        matmuls (KDE, latent encoding) are numerically equivalent but
+        may differ at float precision because BLAS blocking varies with
+        batch shape.
         """
         candidates = _check_3d(candidates)
         n, m, d = candidates.shape
-        return self.score(candidates.reshape(n * m, d)).reshape(n, m)
+        flat = candidates.reshape(n * m, d)
+        chunk = _tile_chunk_rows(self.n_reference, getattr(self, "tile_budget", None))
+        if chunk >= n * m:
+            return self.score(flat).reshape(n, m)
+        out = np.empty(n * m)
+        for start in range(0, n * m, chunk):
+            out[start : start + chunk] = self.score(flat[start : start + chunk])
+        return out.reshape(n, m)
 
     def score_tiled_loop(self, candidates):
         """Per-row reference for :meth:`score_tiled` (parity + benchmarks).
@@ -127,7 +183,8 @@ def _check_3d(candidates):
     return candidates
 
 
-def build_density(name, k_neighbors=10, bandwidth=None, vae=None, desired_class=1):
+def build_density(name, k_neighbors=10, bandwidth=None, vae=None, desired_class=1,
+                  backend="exact", ann_cells=None, ann_probes=None, ann_seed=0):
     """Construct an unfitted estimator by registry name.
 
     Parameters
@@ -145,19 +202,36 @@ def build_density(name, k_neighbors=10, bandwidth=None, vae=None, desired_class=
         ``latent`` estimator, ignored otherwise.
     desired_class:
         Class label the ``latent`` estimator conditions its encoder on.
+    backend:
+        Neighbour backend of the k-NN estimators, one of
+        :data:`DENSITY_BACKENDS`.  The ``kde`` estimator has no
+        approximate form and rejects anything but ``"exact"``.
+    ann_cells / ann_probes / ann_seed:
+        :class:`repro.density.ann.AnnIndex` knobs for the ``ann``
+        backend (``None`` = the index defaults).
     """
     from .estimators import GaussianKdeDensity, KnnDensity, LatentDensity
 
+    if backend not in DENSITY_BACKENDS:
+        raise ValueError(
+            f"unknown density backend {backend!r}; options: {DENSITY_BACKENDS}")
     if name == "knn":
-        return KnnDensity(k_neighbors=k_neighbors)
+        return KnnDensity(k_neighbors=k_neighbors, backend=backend, ann_cells=ann_cells,
+                          ann_probes=ann_probes, ann_seed=ann_seed)
     if name == "kde":
+        if backend != "exact":
+            raise ValueError(
+                f"the kde estimator has no {backend!r} backend; "
+                f"use knn or latent for approximate neighbour queries")
         return GaussianKdeDensity(bandwidth=bandwidth)
     if name == "latent":
-        return LatentDensity(vae=vae, desired_class=desired_class, k_neighbors=k_neighbors)
+        return LatentDensity(vae=vae, desired_class=desired_class, k_neighbors=k_neighbors,
+                             backend=backend, ann_cells=ann_cells, ann_probes=ann_probes,
+                             ann_seed=ann_seed)
     raise KeyError(f"unknown density estimator {name!r}; options: {DENSITY_NAMES}")
 
 
-def fit_class_density(name, x, y, desired_class, vae=None, k_neighbors=10):
+def fit_class_density(name, x, y, desired_class, vae=None, k_neighbors=10, backend="exact"):
     """Build the named estimator and fit it on one class's rows.
 
     The shared recipe every density consumer uses for a labelled
@@ -169,7 +243,8 @@ def fit_class_density(name, x, y, desired_class, vae=None, k_neighbors=10):
     x = np.asarray(x)
     y = np.asarray(y)
     desired_class = int(desired_class)
-    model = build_density(name, k_neighbors=k_neighbors, vae=vae, desired_class=desired_class)
+    model = build_density(name, k_neighbors=k_neighbors, vae=vae,
+                          desired_class=desired_class, backend=backend)
     return model.fit(x[y == desired_class])
 
 

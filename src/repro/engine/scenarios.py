@@ -86,6 +86,11 @@ class Scenario:
         and the report gains the density column.
     density_weight:
         Trade-off ``lambda`` of the density-aware selection score.
+    density_backend:
+        Neighbour backend of the density estimator, one of
+        :data:`repro.density.DENSITY_BACKENDS` (``"exact"`` is the
+        bit-identical default; ``"ann"`` runs the k-NN family on the
+        batched IVF index for 100k+ reference populations).
     causal:
         Optional causal-model name (``scm`` / ``mined``).  When set, the
         run's engine runner hosts a fitted
@@ -114,6 +119,7 @@ class Scenario:
     strategy_params: tuple = field(default_factory=tuple)
     density: str = None
     density_weight: float = 1.0
+    density_backend: str = "exact"
     causal: str = None
     ensemble: int = 0
     robust_quorum: float = 0.5
@@ -148,7 +154,7 @@ def register_scenario(scenario, overwrite=False):
     """
     from ..causal import CAUSAL_NAMES
     from ..data import dataset_names
-    from ..density import DENSITY_NAMES
+    from ..density import DENSITY_BACKENDS, DENSITY_NAMES
 
     if scenario.dataset not in dataset_names():
         raise KeyError(
@@ -161,6 +167,11 @@ def register_scenario(scenario, overwrite=False):
     if scenario.density is not None and scenario.density not in DENSITY_NAMES:
         raise KeyError(
             f"unknown density estimator {scenario.density!r}; options: {DENSITY_NAMES}"
+        )
+    if scenario.density_backend not in DENSITY_BACKENDS:
+        raise ValueError(
+            f"unknown density backend {scenario.density_backend!r}; "
+            f"options: {DENSITY_BACKENDS}"
         )
     if scenario.causal is not None and scenario.causal not in CAUSAL_NAMES:
         raise KeyError(
@@ -436,6 +447,7 @@ def _fit_scenario_density(scenario, context, strategy):
         context.y_train,
         context.bundle.schema.desired_class,
         vae=vae,
+        backend=scenario.density_backend,
     )
 
 

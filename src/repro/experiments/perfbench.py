@@ -98,7 +98,8 @@ from ..core.selection import generate_candidates
 from ..data import load_dataset
 from ..models import BlackBoxClassifier, train_classifier
 
-__all__ = ["MIN_CAUSAL_SPEEDUP", "MIN_DENSITY_SPEEDUP", "MIN_KERNEL_SPEEDUP",
+__all__ = ["MIN_ANN_RECALL", "MIN_ANN_SPEEDUP", "MIN_CAUSAL_SPEEDUP",
+           "MIN_DENSITY_SPEEDUP", "MIN_KERNEL_SPEEDUP",
            "MIN_PLAN_SPEEDUP", "MIN_ROBUST_SPEEDUP",
            "MIN_SERVE_SCALE_SPEEDUP", "PERF_SCALES",
            "PRE_PR_BASELINE", "run_perfbench", "write_bench"]
@@ -129,6 +130,17 @@ MIN_PLAN_SPEEDUP = 3.0
 #: Acceptance floor: a 4-replica worker pool must sustain at least this
 #: multiple of the single-replica rate on the cache-bound serving trace.
 MIN_SERVE_SCALE_SPEEDUP = 2.0
+
+#: Acceptance floor: the ANN density backend must beat the exact
+#: cKDTree query rate by at least this factor at 100k+ reference rows
+#: (the ``density_at_scale`` bench; smaller sizes are informational —
+#: the IVF index only pulls ahead once the exact scan is memory-bound).
+MIN_ANN_SPEEDUP = 5.0
+
+#: Acceptance floor: measured recall@k of the ANN backend against the
+#: exact neighbours, asserted *before* any timing is recorded — a fast
+#: index that returns the wrong neighbours is a bug, not a win.
+MIN_ANN_RECALL = 0.9
 
 #: Workload definitions.  ``smoke`` finishes in well under a minute and is
 #: what CI runs; ``full`` is for local trajectory tracking.

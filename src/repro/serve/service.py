@@ -214,6 +214,7 @@ class ExplanationService:
         migrate_from=None,
         engine="staged",
         plan_backend="numpy",
+        density_backend=None,
     ):
         """Build a service from a stored artifact without any training.
 
@@ -259,6 +260,13 @@ class ExplanationService:
         ``migrate_from`` may also be combined with a successful strict
         load to carry a previous service's still-valid cache across a
         process restart.
+
+        ``density_backend`` re-indexes the resolved density overlay on
+        another neighbour backend (:data:`repro.density.DENSITY_BACKENDS`)
+        before serving — the way a store-persisted exact estimator is
+        served ANN-backed over a 100k+ reference without re-persisting.
+        Requires a density overlay; ``None`` keeps the overlay's own
+        backend.
         """
         if on_stale not in ("raise", "migrate"):
             raise ValueError(
@@ -308,6 +316,12 @@ class ExplanationService:
                     vae=pipeline.explainer.generator.vae,
                     encoder=pipeline.encoder,
                 )
+        if density_backend is not None:
+            if overlays.get("density") is None:
+                raise ValueError(
+                    "density_backend requires a density overlay; pass "
+                    'overlays={"density": "store"} or a fitted estimator')
+            overlays["density"] = overlays["density"].with_backend(density_backend)
         service = cls(
             pipeline,
             cache_size=cache_size,

@@ -1,0 +1,163 @@
+"""Tests for the downloadable-dataset registry (repro.data.download)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DownloadableDataset,
+    DownloadError,
+    data_cache_dir,
+    downloadable_names,
+    fetch_dataset,
+    load_downloadable,
+    upsample,
+)
+from repro.data.adult import ADULT_SCHEMA
+from repro.data.download import parse_adult_census
+
+#: Two raw UCI Adult rows (the real file's exact shape: 15 comma+space
+#: separated columns, ``?`` for missing cells, trailing-period labels
+#: in the test split variant).
+ADULT_ROWS = (
+    "39, State-gov, 77516, Bachelors, 13, Never-married, Adm-clerical,"
+    " Not-in-family, White, Male, 2174, 0, 40, United-States, <=50K\n"
+    "50, Self-emp-not-inc, 83311, Bachelors, 13, Married-civ-spouse,"
+    " Exec-managerial, Husband, White, Male, 0, 0, 13, ?, >50K\n"
+    "short, row\n"  # malformed: silently skipped
+)
+
+
+def _fake_fetcher(payload=ADULT_ROWS):
+    """A fetcher that writes ``payload`` instead of hitting the network."""
+
+    def fetch(url, dest):
+        dest.write_text(payload)
+
+    return fetch
+
+
+def _failing_fetcher(url, dest):
+    raise OSError("no network in tests")
+
+
+class TestFetch:
+    def test_registry_lists_adult(self):
+        assert "adult_uci" in downloadable_names()
+
+    def test_cache_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_DATA_CACHE", str(tmp_path / "env-cache"))
+        assert data_cache_dir() == tmp_path / "env-cache"
+        assert data_cache_dir().is_dir()
+        explicit = data_cache_dir(tmp_path / "explicit")
+        assert explicit == tmp_path / "explicit"
+
+    def test_fetch_records_tofu_checksum(self, tmp_path):
+        path = fetch_dataset("adult_uci", cache_dir=tmp_path,
+                             fetcher=_fake_fetcher())
+        assert path.is_file()
+        lock = json.loads((tmp_path / "checksums.json").read_text())
+        assert path.name in lock and len(lock[path.name]) == 64
+
+    def test_cached_file_reused_without_fetcher(self, tmp_path):
+        fetch_dataset("adult_uci", cache_dir=tmp_path, fetcher=_fake_fetcher())
+        # second call must not need the network at all
+        again = fetch_dataset("adult_uci", cache_dir=tmp_path,
+                              fetcher=_failing_fetcher)
+        assert again.is_file()
+
+    def test_corruption_caught_by_lockfile(self, tmp_path):
+        path = fetch_dataset("adult_uci", cache_dir=tmp_path,
+                             fetcher=_fake_fetcher())
+        path.write_text(ADULT_ROWS + "extra, tampered, row\n")
+        with pytest.raises(DownloadError, match="checksum"):
+            fetch_dataset("adult_uci", cache_dir=tmp_path,
+                          fetcher=_fake_fetcher())
+
+    def test_failed_download_raises_download_error(self, tmp_path):
+        with pytest.raises(DownloadError, match="could not download"):
+            fetch_dataset("adult_uci", cache_dir=tmp_path,
+                          fetcher=_failing_fetcher)
+
+
+class TestParseAdult:
+    def test_maps_raw_census_onto_adult_schema(self, tmp_path):
+        raw = tmp_path / "adult.data"
+        raw.write_text(ADULT_ROWS)
+        frame, labels = parse_adult_census(raw)
+        assert frame.n_rows == 2  # malformed row dropped
+        np.testing.assert_array_equal(labels, [0.0, 1.0])
+        row = frame.row(0)
+        assert row["age"] == 39
+        assert row["workclass"] == "government"
+        assert row["education"] == "bachelors"
+        assert row["marital_status"] == "single"
+        assert row["occupation"] == "white_collar"
+        assert row["hours_per_week"] == 40
+        assert row["gender"] == 1.0
+        assert row["native_us"] == 1.0
+        # '?' native-country becomes a missing cell for clean() to fill
+        second = frame.row(1)
+        assert second["workclass"] == "self_employed"
+        assert second["native_us"] is None or second["native_us"] != second["native_us"]
+
+
+class TestLoadDownloadable:
+    def test_download_source_and_exact_row_count(self, tmp_path):
+        frame, labels, source = load_downloadable(
+            "adult_uci", n_rows=50, cache_dir=tmp_path,
+            fetcher=_fake_fetcher())
+        assert source == "download"
+        assert frame.n_rows == 50 and len(labels) == 50
+
+    def test_offline_fallback_is_synthetic(self, tmp_path):
+        frame, labels, source = load_downloadable(
+            "adult_uci", n_rows=64, cache_dir=tmp_path,
+            fetcher=_failing_fetcher)
+        assert source == "synthetic"
+        assert frame.n_rows == 64 and len(labels) == 64
+        assert set(frame.column_names) == {s.name for s in ADULT_SCHEMA.features}
+
+    def test_require_real_raises_offline(self, tmp_path):
+        with pytest.raises(DownloadError):
+            load_downloadable("adult_uci", cache_dir=tmp_path,
+                              fetcher=_failing_fetcher, require_real=True)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown downloadable"):
+            load_downloadable("imagenet")
+
+
+class TestUpsample:
+    def test_jitter_stays_in_bounds_and_rows_distinct(self, tmp_path):
+        frame, labels, _ = load_downloadable(
+            "adult_uci", n_rows=32, cache_dir=tmp_path,
+            fetcher=_failing_fetcher)
+        big, big_labels = upsample(frame, labels, 500, seed=1,
+                                   schema=ADULT_SCHEMA)
+        assert big.n_rows == 500 and len(big_labels) == 500
+        for spec in ADULT_SCHEMA.continuous:
+            low, high = spec.bounds
+            column = big[spec.name].astype(np.float64)
+            assert column.min() >= low and column.max() <= high
+        ages = big["age"].astype(np.float64)
+        assert len(np.unique(ages)) > 32  # jitter de-duplicates resamples
+
+    def test_rejects_empty_target(self, tmp_path):
+        frame, labels, _ = load_downloadable(
+            "adult_uci", n_rows=8, cache_dir=tmp_path,
+            fetcher=_failing_fetcher)
+        with pytest.raises(ValueError, match="n_rows"):
+            upsample(frame, labels, 0)
+
+
+class TestRegisterDownloadable:
+    def test_duplicate_registration_needs_overwrite(self):
+        from repro.data.download import _downloadable, register_downloadable
+
+        entry = _downloadable("adult_uci")
+        with pytest.raises(ValueError, match="already registered"):
+            register_downloadable(entry)
+        register_downloadable(entry, overwrite=True)  # idempotent re-pin
+        assert isinstance(entry, DownloadableDataset)

@@ -161,3 +161,34 @@ class TestRunScenario:
             scale=scale, seed=0)
         assert result.report.method == "dice_random"
         assert np.isfinite(result.report.sparsity)
+
+
+class TestDensityBackend:
+    def test_default_is_exact(self):
+        assert get_scenario("adult/face+knn").density_backend == "exact"
+
+    def test_unknown_backend_rejected_at_registration(self):
+        bad = Scenario("test/bad-backend", "adult", "cem",
+                       density="knn", density_backend="faiss")
+        with pytest.raises(ValueError, match="unknown density backend"):
+            register_scenario(bad)
+
+    def test_ann_scenario_runs_and_fits_ann_estimator(self):
+        from repro.engine import scenarios as module
+        from repro.engine.scenarios import _fit_scenario_density
+        from repro.experiments.harness import prepare_context
+
+        scale = ExperimentScale("tiny", 900, 12, 4)
+        scenario = Scenario("test/ann-density", "adult", "dice_random",
+                            density="knn", density_backend="ann",
+                            strategy_params=(("max_attempts", 5),))
+        try:
+            register_scenario(scenario)
+            context = prepare_context("adult", scale=scale, seed=0)
+            model = _fit_scenario_density(
+                scenario, context, scenario.strategy)
+            assert model.backend == "ann"
+            result = run_scenario("test/ann-density", context=context)
+            assert result.report.mean_knn_distance is not None
+        finally:
+            module._SCENARIOS.pop("test/ann-density", None)

@@ -143,3 +143,33 @@ class TestDensityAwareServing:
         resolved = ticket.result()
         assert 0 <= resolved["chosen"] < service.density_candidates
         assert isinstance(resolved["valid"], bool)
+
+
+class TestWarmStartBackend:
+    def test_warm_start_rebinds_density_to_ann(self, trained):
+        store, pipeline, reference = trained
+        model = KnnDensity(k_neighbors=5).fit(reference)
+        store.save_overlay("t", "density", model)
+        service = ExplanationService.warm_start(
+            store, "t", overlays={"density": "store"}, density_backend="ann")
+        assert service.density.backend == "ann"
+        # the persisted state is backend-agnostic: same reference rows
+        np.testing.assert_array_equal(service.density.reference_, reference)
+        x_test, _ = pipeline.bundle.split("test")
+        result = service.explain_batch(x_test[:4])
+        assert result.x_cf.shape == (4, x_test.shape[1])
+
+    def test_backend_without_density_overlay_rejected(self, trained):
+        store, pipeline, _ = trained
+        with pytest.raises(ValueError, match="density overlay"):
+            ExplanationService.warm_start(store, "t", density_backend="ann")
+
+    def test_ann_rebind_changes_cache_fingerprint(self, trained):
+        store, pipeline, reference = trained
+        model = KnnDensity(k_neighbors=5).fit(reference)
+        store.save_overlay("t", "density", model)
+        exact = ExplanationService.warm_start(
+            store, "t", overlays={"density": "store"})
+        ann = ExplanationService.warm_start(
+            store, "t", overlays={"density": "store"}, density_backend="ann")
+        assert exact.cache_fingerprint != ann.cache_fingerprint

@@ -1,0 +1,113 @@
+"""Memory-mapped overlay arrays: sidecar split, no-copy loads, checksums."""
+
+import numpy as np
+import pytest
+
+from repro.serve import ArtifactStore
+from repro.serve.store import MMAP_THRESHOLD, ArtifactError
+
+
+def _backing_memmap(array):
+    """Walk the .base chain to the np.memmap a view is backed by."""
+    node = array
+    while node is not None:
+        if isinstance(node, np.memmap):
+            return node
+        node = getattr(node, "base", None)
+    return None
+
+
+@pytest.fixture(scope="module")
+def saved(tiny_pipeline, tmp_path_factory):
+    """Artifact + density overlay in a store with a 1-byte mmap threshold."""
+    from repro.density import KnnDensity
+
+    store = ArtifactStore(tmp_path_factory.mktemp("mmap"), mmap_threshold=1)
+    store.save(tiny_pipeline, name="t")
+    x_train, y_train = tiny_pipeline.bundle.split("train")
+    desired_class = int(tiny_pipeline.bundle.schema.desired_class)
+    reference = x_train[y_train == desired_class][:150]
+    model = KnnDensity(k_neighbors=5).fit(reference)
+    store.save_overlay("t", "density", model)
+    return store, model, reference
+
+
+class TestMmapSidecars:
+    def test_default_threshold_is_one_mib(self, tmp_path):
+        assert MMAP_THRESHOLD == 1 << 20
+        assert ArtifactStore(tmp_path).mmap_threshold == MMAP_THRESHOLD
+
+    def test_large_arrays_split_into_npy_sidecars(self, saved):
+        store, model, _ = saved
+        target = store.artifact_dir("t")
+        assert (target / "density.reference.npy").is_file()
+        meta = (target / "density.json").read_text()
+        assert "density.reference.npy" in meta
+
+    def test_loaded_reference_is_memory_mapped_no_copy(self, saved):
+        store, model, reference = saved
+        loaded = store.load_overlay("t", "density")
+        backing = _backing_memmap(loaded.reference_)
+        assert backing is not None and backing.mode == "r"
+        np.testing.assert_array_equal(np.asarray(loaded.reference_), reference)
+
+    def test_mmap_loaded_model_scores_bit_identically(self, saved):
+        store, model, reference = saved
+        loaded = store.load_overlay("t", "density")
+        assert loaded.fingerprint() == model.fingerprint()
+        probe = reference[:9] + 0.05
+        np.testing.assert_array_equal(loaded.score(probe), model.score(probe))
+
+    def test_sidecar_corruption_raises(self, tiny_pipeline, tmp_path):
+        from repro.density import KnnDensity
+
+        store = ArtifactStore(tmp_path, mmap_threshold=1)
+        store.save(tiny_pipeline, name="t")
+        x_train, _ = tiny_pipeline.bundle.split("train")
+        model = KnnDensity(k_neighbors=4).fit(x_train[:80])
+        store.save_overlay("t", "density", model)
+        sidecar = store.artifact_dir("t") / "density.reference.npy"
+        tampered = np.load(sidecar)
+        tampered[0, 0] += 1.0
+        np.save(sidecar, tampered)
+        with pytest.raises(ArtifactError, match="checksum"):
+            store.load_overlay("t", "density")
+
+    def test_missing_sidecar_raises(self, tiny_pipeline, tmp_path):
+        from repro.density import KnnDensity
+
+        store = ArtifactStore(tmp_path, mmap_threshold=1)
+        store.save(tiny_pipeline, name="t")
+        x_train, _ = tiny_pipeline.bundle.split("train")
+        store.save_overlay("t", "density", KnnDensity(k_neighbors=4).fit(x_train[:80]))
+        (store.artifact_dir("t") / "density.reference.npy").unlink()
+        with pytest.raises(ArtifactError, match="missing"):
+            store.load_overlay("t", "density")
+
+    def test_resave_removes_stale_sidecars(self, tiny_pipeline, tmp_path):
+        from repro.density import KnnDensity
+
+        store = ArtifactStore(tmp_path, mmap_threshold=1)
+        store.save(tiny_pipeline, name="t")
+        x_train, _ = tiny_pipeline.bundle.split("train")
+        store.save_overlay("t", "density", KnnDensity(k_neighbors=4).fit(x_train[:80]))
+        # second save in an all-in-npz store must drop the old sidecar
+        store.mmap_threshold = 1 << 30
+        store.save_overlay("t", "density", KnnDensity(k_neighbors=4).fit(x_train[:80]))
+        assert not (store.artifact_dir("t") / "density.reference.npy").exists()
+        loaded = store.load_overlay("t", "density")
+        assert _backing_memmap(loaded.reference_) is None
+
+    def test_pre_split_overlays_still_load(self, tiny_pipeline, tmp_path):
+        """An overlay saved with everything in the npz (the pre-mmap
+        format has no mmap_arrays entry) loads unchanged."""
+        from repro.density import KnnDensity
+
+        store = ArtifactStore(tmp_path, mmap_threshold=1 << 40)
+        store.save(tiny_pipeline, name="t")
+        x_train, _ = tiny_pipeline.bundle.split("train")
+        model = KnnDensity(k_neighbors=4).fit(x_train[:80])
+        store.save_overlay("t", "density", model)
+        assert not list(store.artifact_dir("t").glob("density.*.npy"))
+        loaded = store.load_overlay("t", "density")
+        assert loaded.fingerprint() == model.fingerprint()

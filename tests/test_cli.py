@@ -298,3 +298,36 @@ class TestServeDemoRoundTripFlags:
         artifact = store_dir / "adult-unary-seed0"
         assert (artifact / "density.json").exists()
         assert (artifact / "causal.json").exists()
+
+
+class TestDensityBackendFlag:
+    def test_parse_and_choices(self):
+        args = build_parser().parse_args(
+            ["run-scenario", "--density-backend", "ann"])
+        assert args.density_backend == "ann"
+        assert build_parser().parse_args(["run-scenario"]).density_backend is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run-scenario", "--density-backend", "faiss"])
+
+    def test_run_scenario_with_ann_backend(self, capsys, tmp_path):
+        code = main(["run-scenario", "--scenario", "adult/dice_random",
+                     "--density", "knn", "--density-backend", "ann",
+                     "--scale", "smoke", "--out", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SCENARIO adult/dice_random+knn@ann" in out
+        assert "density (mean kNN dist)" in out
+
+    def test_serve_demo_backend_requires_density(self, capsys):
+        with pytest.raises(SystemExit, match="requires --density"):
+            main(["serve-demo", "--scale", "smoke", "--rows", "8",
+                  "--density-backend", "ann"])
+
+    def test_serve_demo_with_ann_backend(self, capsys, tmp_path):
+        code = main(["serve-demo", "--scale", "smoke", "--rows", "8",
+                     "--artifact-dir", str(tmp_path / "store"),
+                     "--density", "knn", "--density-backend", "ann"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(ann)" in out

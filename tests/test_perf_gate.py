@@ -21,7 +21,8 @@ def gate():
 
 def _results(train=100.0, predict=1000.0, candidates=500.0,
              constraint_eval=2000.0, scenarios=50.0, density=300.0,
-             causal=700.0, robust=400.0, plan=600.0, serve_scale=800.0):
+             causal=700.0, robust=400.0, plan=600.0, serve_scale=800.0,
+             density_at_scale=900.0):
     return {
         "train": {"rows_per_sec": train},
         "predict": {"rows_per_sec": predict},
@@ -33,6 +34,7 @@ def _results(train=100.0, predict=1000.0, candidates=500.0,
         "robust": {"rows_per_sec": robust},
         "plan": {"rows_per_sec": plan},
         "serve_scale": {"rows_per_sec": serve_scale},
+        "density_at_scale": {"rows_per_sec": density_at_scale},
     }
 
 
@@ -40,7 +42,7 @@ class TestCompare:
     def test_no_regression_passes(self, gate):
         rows, failures = gate.compare(_results(), _results(predict=990.0))
         assert failures == []
-        assert len(rows) == 10
+        assert len(rows) == 11
 
     def test_density_is_gated(self, gate):
         _, failures = gate.compare(_results(), _results(density=10.0))
@@ -67,6 +69,11 @@ class TestCompare:
         assert len(failures) == 1
         assert "serve_scale" in failures[0]
 
+    def test_density_at_scale_is_gated(self, gate):
+        _, failures = gate.compare(_results(), _results(density_at_scale=10.0))
+        assert len(failures) == 1
+        assert "density_at_scale" in failures[0]
+
     def test_constraint_eval_is_gated(self, gate):
         _, failures = gate.compare(_results(), _results(constraint_eval=100.0))
         assert len(failures) == 1
@@ -87,12 +94,13 @@ class TestCompare:
         del old["robust"]
         del old["plan"]
         del old["serve_scale"]
+        del old["density_at_scale"]
         rows, failures = gate.compare(old, _results())
         assert failures == []
         skipped = [r for r in rows if r[2] != r[2]]  # NaN baseline
         assert {r[0] for r in skipped} == {
             "constraint_eval", "scenario_matrix", "density", "causal",
-            "robust", "plan", "serve_scale"}
+            "robust", "plan", "serve_scale", "density_at_scale"}
         markdown = gate.render_markdown(rows, 0.30)
         assert "no baseline" in markdown
 
