@@ -1,0 +1,118 @@
+"""Benchmark: in-objective (six-part) training smoke (verify-only).
+
+A focused, budgeted runner for the ``inloss`` perfbench section: it
+trains the four-part post-hoc baseline and the six-part in-loss
+objective on a shared black-box, replays the same fixed candidate sweep
+through both, prints a candidates-per-accepted-CF markdown table and
+enforces a wall-clock budget — the shape CI wants for a quick "does
+in-objective training still pay for itself" check without paying for
+the full engine benchmark.
+
+By default the run is verify-only: it does NOT touch
+``BENCH_engine.json`` (whose committed ``inloss`` section is written by
+``bench_perf_engine.py``).  Pass ``--merge`` to fold the measured
+section into an existing results file instead.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_inloss.py --budget 120
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_engine.json"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.data import load_dataset  # noqa: E402
+from repro.experiments.perfbench import (  # noqa: E402
+    MIN_INLOSS_REDUCTION,
+    PERF_SCALES,
+    _inloss_section,
+)
+
+
+def render_markdown(section):
+    """Baseline-vs-in-loss markdown table for the CI job summary."""
+    lines = [
+        "### In-objective training (`inloss`)",
+        "",
+        f"{section['rows']} undesired-class rows x "
+        f"{section['n_candidates']} candidates, {section['epochs']} "
+        f"CF-VAE epochs; acceptance = valid + feasible + dense "
+        f"(held-out q{section['density_quantile']}) + causally "
+        f"plausible (tol {section['causal_tolerance']}).",
+        "",
+        "| objective | accepted | candidates/accepted | rows with CF "
+        "| validity |",
+        "|---|---:|---:|---:|---:|",
+    ]
+    for label, key in (("four-part (post-hoc)", "posthoc"),
+                       ("six-part (in-loss)", "inloss")):
+        entry = section[key]
+        per_accepted = f"{entry['candidates_per_accepted']:,.2f}"
+        if entry["accepted"] == 0:
+            per_accepted = f">{per_accepted}"  # lower bound: none accepted
+        lines.append(
+            f"| {label} | {entry['accepted']} | {per_accepted} "
+            f"| {100 * entry['rows_with_accepted_cf']:.1f}% "
+            f"| {100 * entry['validity']:.1f}% |")
+    lines.append("")
+    lines.append(
+        f"Candidates-per-accepted reduction: "
+        f"**{section['reduction_vs_posthoc']:.2f}x** "
+        f"(floor {MIN_INLOSS_REDUCTION}x).")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="smoke", choices=("smoke", "full"))
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--budget", type=float, default=None,
+                        help="fail if the run exceeds this many seconds")
+    parser.add_argument("--merge", type=pathlib.Path, default=None,
+                        metavar="RESULTS_JSON",
+                        help="fold the measured inloss section into this "
+                             "existing results file (default: verify-only, "
+                             "nothing written)")
+    parser.add_argument("--summary", type=pathlib.Path, default=None,
+                        help="file to append the markdown table to "
+                             "(e.g. $GITHUB_STEP_SUMMARY)")
+    args = parser.parse_args(argv)
+
+    spec = PERF_SCALES[args.scale]
+    start = time.perf_counter()
+    bundle = load_dataset("adult", n_instances=spec["n_instances"],
+                          seed=args.seed)
+    section = _inloss_section(bundle, spec, args.seed)
+    elapsed = time.perf_counter() - start
+
+    markdown = render_markdown(section)
+    print(markdown)
+    print(f"run wall clock: {elapsed:.1f}s")
+    if args.summary is not None:
+        with open(args.summary, "a") as handle:
+            handle.write(markdown)
+
+    if args.merge is not None:
+        results = json.loads(args.merge.read_text())
+        results["inloss"] = section
+        args.merge.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"merged inloss section into {args.merge}")
+
+    if args.budget is not None and elapsed > args.budget:
+        print(
+            f"BUDGET EXCEEDED: inloss run took {elapsed:.1f}s "
+            f"(budget {args.budget:.0f}s)", file=sys.stderr)
+        return 3
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,6 +39,7 @@ GATED_METRICS = {
     "plan": "rows_per_sec",
     "serve_scale": "rows_per_sec",
     "density_at_scale": "rows_per_sec",
+    "inloss": "reduction_vs_posthoc",
 }
 
 #: Reported in the table but never failing: training throughput and the

@@ -17,6 +17,7 @@ from .base import (
     causal_from_state,
     fit_causal,
 )
+from .differentiable import MinedLossSurrogate, ScmLossSurrogate, causal_loss_surrogate
 from .equations import StructuralEquation, scm_equations
 from .models import MinedCausalModel, ScmCausalModel
 
@@ -25,10 +26,13 @@ __all__ = [
     "CAUSAL_TOLERANCE",
     "CausalModel",
     "MinedCausalModel",
+    "MinedLossSurrogate",
     "ScmCausalModel",
+    "ScmLossSurrogate",
     "StructuralEquation",
     "build_causal",
     "causal_from_state",
+    "causal_loss_surrogate",
     "fit_causal",
     "scm_equations",
 ]

@@ -10,7 +10,62 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-__all__ = ["CFTrainingConfig", "paper_config", "TABLE3_SETTINGS", "fast_config"]
+__all__ = [
+    "CFTrainingConfig",
+    "DensityLossConfig",
+    "CausalLossConfig",
+    "paper_config",
+    "TABLE3_SETTINGS",
+    "fast_config",
+    "inloss_config",
+    "DEFAULT_INLOSS_DENSITY_WEIGHT",
+    "DEFAULT_INLOSS_CAUSAL_WEIGHT",
+]
+
+
+@dataclass(frozen=True)
+class DensityLossConfig:
+    """Settings for the in-objective (differentiable) density term.
+
+    ``kind`` selects the surrogate: ``"kde"`` is a Gaussian KDE over a
+    subsampled reference population in encoded input space;
+    ``"latent"`` is a soft-min kNN distance in the CF-VAE's latent
+    space (the reference rows are re-encoded with the current encoder
+    weights each step, so the term tracks the manifold as it trains).
+    """
+
+    kind: str = "kde"
+    bandwidth_scale: float = 1.0
+    temperature: float = 0.05
+    max_reference: int = 256
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.kind not in ("kde", "latent"):
+            raise ValueError(f"density loss kind must be 'kde' or 'latent', got {self.kind!r}")
+        if self.bandwidth_scale <= 0:
+            raise ValueError(f"bandwidth_scale must be positive, got {self.bandwidth_scale}")
+        if self.temperature <= 0:
+            raise ValueError(f"temperature must be positive, got {self.temperature}")
+        if self.max_reference < 1:
+            raise ValueError(f"max_reference must be >= 1, got {self.max_reference}")
+
+
+@dataclass(frozen=True)
+class CausalLossConfig:
+    """Settings for the in-objective (differentiable) causal term.
+
+    ``kind`` names the causal model the surrogate is built from —
+    ``"scm"`` penalises squared residuals of the abduct→intervene
+    structural equations, ``"mined"`` applies squared hinge penalties
+    to mined monotone relations.
+    """
+
+    kind: str = "scm"
+
+    def __post_init__(self):
+        if self.kind not in ("scm", "mined"):
+            raise ValueError(f"causal loss kind must be 'scm' or 'mined', got {self.kind!r}")
 
 
 @dataclass(frozen=True)
@@ -38,6 +93,10 @@ class CFTrainingConfig:
     latent_noise: float = 0.1
     warmstart_epochs: int = 15
     proximity_metric: str = "l1"
+    density_weight_inloss: float = 0.0
+    causal_weight_inloss: float = 0.0
+    loss_density: DensityLossConfig = DensityLossConfig()
+    loss_causal: CausalLossConfig = CausalLossConfig()
 
     def __post_init__(self):
         if self.learning_rate <= 0:
@@ -51,6 +110,20 @@ class CFTrainingConfig:
         if self.proximity_metric not in ("l1", "l2"):
             raise ValueError(
                 f"proximity_metric must be 'l1' or 'l2', got {self.proximity_metric!r}")
+        # The artifact store round-trips configs through JSON manifests
+        # (``CFTrainingConfig(**manifest["config"])``), where the nested
+        # loss configs arrive back as plain dicts — coerce them here so
+        # every constructor path yields the frozen dataclass form.
+        if isinstance(self.loss_density, dict):
+            object.__setattr__(self, "loss_density", DensityLossConfig(**self.loss_density))
+        if isinstance(self.loss_causal, dict):
+            object.__setattr__(self, "loss_causal", CausalLossConfig(**self.loss_causal))
+        if self.density_weight_inloss < 0:
+            raise ValueError(
+                f"density_weight_inloss must be >= 0, got {self.density_weight_inloss}")
+        if self.causal_weight_inloss < 0:
+            raise ValueError(
+                f"causal_weight_inloss must be >= 0, got {self.causal_weight_inloss}")
 
     def scaled_for(self, n_rows):
         """Adapt the batch size to small datasets (tests, examples).
@@ -110,3 +183,32 @@ def fast_config(epochs=8, batch_size=256):
     return CFTrainingConfig(
         learning_rate=3e-3, batch_size=batch_size, epochs=epochs,
         warmstart_epochs=8)
+
+
+#: Default in-objective term weights, tuned on the smoke workload so the
+#: density/causal pull reshapes the decoder without drowning the validity
+#: hinge (see docs/performance.md for the candidates-per-valid-CF table).
+DEFAULT_INLOSS_DENSITY_WEIGHT = 0.2
+DEFAULT_INLOSS_CAUSAL_WEIGHT = 2.0
+
+
+def inloss_config(base, density_weight=None, causal_weight=None,
+                  loss_density=None, loss_causal=None):
+    """Return ``base`` with the six-part in-objective terms switched on.
+
+    ``density_weight``/``causal_weight`` default to the tuned module
+    constants; pass ``0.0`` explicitly to disable one of the terms.
+    ``loss_density``/``loss_causal`` optionally replace the nested
+    surrogate configs.
+    """
+    updates = {
+        "density_weight_inloss": DEFAULT_INLOSS_DENSITY_WEIGHT
+        if density_weight is None else float(density_weight),
+        "causal_weight_inloss": DEFAULT_INLOSS_CAUSAL_WEIGHT
+        if causal_weight is None else float(causal_weight),
+    }
+    if loss_density is not None:
+        updates["loss_density"] = loss_density
+    if loss_causal is not None:
+        updates["loss_causal"] = loss_causal
+    return replace(base, **updates)

@@ -125,8 +125,33 @@ class FeasibleCFExplainer:
         self.generator = CFVAEGenerator(
             vae, self.blackbox, self.constraints, self.projector,
             self.config, rng=np.random.default_rng(self.seed + 4))
+        if self.config.density_weight_inloss or self.config.causal_weight_inloss:
+            self._prepare_inloss(x_train, y_train)
         self.generator.fit(x_train, verbose=verbose)
         return self
+
+    def _prepare_inloss(self, x_train, y_train):
+        """Fit the six-part loss surrogates before the CF-VAE stage.
+
+        The density reference is the desired-class slice of the training
+        rows (the region a counterfactual should land in — the same
+        policy as ``fit_class_density``); the causal surrogate wraps the
+        dataset's causal model named by ``config.loss_causal``.
+        """
+        cfg = self.config
+        desired_class = int(self.encoder.schema.desired_class)
+        reference = None
+        if cfg.density_weight_inloss:
+            reference = x_train[np.asarray(y_train) == desired_class]
+            if len(reference) == 0:
+                reference = x_train
+        causal = None
+        if cfg.causal_weight_inloss:
+            from ..causal import fit_causal
+
+            causal = fit_causal(cfg.loss_causal.kind, self.encoder, x_train, y_train)
+        self.generator.prepare_inloss(
+            reference=reference, causal=causal, desired_class=desired_class)
 
     @property
     def history(self):

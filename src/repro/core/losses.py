@@ -1,9 +1,15 @@
-"""The paper's four-part counterfactual loss (Eq. 3 + Section III-C).
+"""The paper's counterfactual loss (Eq. 3 + Section III-C), extensible to six parts.
 
 ``total = validity (hinge) + proximity (L1) + feasibility (constraint
 penalties) + sparsity (L0/L1 on the feature delta)``, plus the VAE's KL
-regulariser.  Each term is weighted by the training config and reported
-separately so experiments can inspect the trade-offs.
+regulariser.  When the config sets ``density_weight_inloss`` /
+``causal_weight_inloss`` and a fitted surrogate is attached, two more
+differentiable terms join the objective: a density pull toward the
+reference population (:mod:`repro.density.differentiable`) and a causal
+residual penalty built from the structural equations
+(:mod:`repro.causal.differentiable`).  Each term is weighted by the
+training config and reported separately so experiments can inspect the
+trade-offs.
 """
 
 from __future__ import annotations
@@ -36,28 +42,81 @@ def sparsity_penalty(delta, l1_weight, l0_weight, tau):
 
 
 class FourPartLoss:
-    """Callable bundling the four loss components against a frozen classifier.
+    """Callable bundling the loss components against a frozen classifier.
+
+    Historically four parts (validity, proximity, feasibility, sparsity);
+    with in-loss surrogates attached and their config weights non-zero it
+    grows to six.  The four-part path is bit-identical whenever both
+    in-loss weights are zero, regardless of attached surrogates.
 
     Parameters
     ----------
     blackbox:
         Trained :class:`repro.models.BlackBoxClassifier`; its parameters
         receive no updates, only gradients *through* it reach the
-        counterfactual.
+        counterfactual.  Construction freezes it non-destructively:
+        :meth:`release` restores the prior ``requires_grad`` flags so the
+        same instance stays retrainable (rollover, ensembling).
     constraints:
         :class:`repro.constraints.ConstraintSet` providing the
         feasibility penalty.
     config:
         :class:`repro.core.config.CFTrainingConfig` with the term weights.
+    density_model:
+        Optional fitted in-loss density surrogate exposing
+        ``penalty(x_cf, desired) -> Tensor`` (see
+        :mod:`repro.density.differentiable`).
+    causal_model:
+        Optional fitted in-loss causal surrogate exposing
+        ``penalty(x, x_cf) -> Tensor`` (see
+        :mod:`repro.causal.differentiable`).
     """
 
-    def __init__(self, blackbox, constraints, config):
+    def __init__(self, blackbox, constraints, config, density_model=None,
+                 causal_model=None):
         self.blackbox = blackbox
         self.constraints = constraints
         self.config = config
+        self.density_model = density_model
+        self.causal_model = causal_model
+        self._prior_flags = None
         # Freeze the classifier: gradients flow through, never into, it.
-        for parameter in blackbox.parameters():
-            parameter.requires_grad = False
+        self.freeze()
+
+    # -- blackbox freeze lifecycle ------------------------------------
+    def freeze(self):
+        """Switch the blackbox's ``requires_grad`` flags off, remembering
+        the prior values.
+
+        Idempotent: calling twice does not overwrite the recorded flags,
+        so ``freeze(); freeze(); release()`` still restores the original
+        state.  The freeze must span the whole forward *and* backward of
+        a training step — the autograd checks ``requires_grad`` at
+        backward time, so releasing early would leak gradients into the
+        classifier.
+        """
+        if self._prior_flags is None:
+            self._prior_flags = [
+                (tensor, tensor.requires_grad)
+                for _, tensor in self.blackbox.named_parameters(include_frozen=True)
+            ]
+        for tensor, _ in self._prior_flags:
+            tensor.requires_grad = False
+        return self
+
+    def release(self):
+        """Restore the ``requires_grad`` flags recorded by :meth:`freeze`.
+
+        After release the blackbox is trainable again — a later
+        ``train_classifier`` (e.g. a serving rollover retrain) sees its
+        parameters.  No-op if the loss never froze anything.
+        """
+        if self._prior_flags is None:
+            return self
+        for tensor, flag in self._prior_flags:
+            tensor.requires_grad = flag
+        self._prior_flags = None
+        return self
 
     def __call__(self, x, x_cf, desired, mu=None, log_var=None):
         """Compute the weighted total and the individual parts.
@@ -97,7 +156,7 @@ class FourPartLoss:
             proximity = difference.abs().sum(axis=1).mean()
         feasibility = self.constraints.penalty(x, x_cf)
         sparsity = sparsity_penalty(
-            x_cf - Tensor(x), cfg.sparsity_l1_weight, cfg.sparsity_l0_weight,
+            difference, cfg.sparsity_l1_weight, cfg.sparsity_l0_weight,
             cfg.sparsity_l0_tau)
 
         total = (validity * cfg.validity_weight
@@ -110,6 +169,14 @@ class FourPartLoss:
             "feasibility": feasibility.item(),
             "sparsity": sparsity.item(),
         }
+        if cfg.density_weight_inloss and self.density_model is not None:
+            density = self.density_model.penalty(x_cf, desired)
+            total = total + density * cfg.density_weight_inloss
+            parts["density"] = density.item()
+        if cfg.causal_weight_inloss and self.causal_model is not None:
+            causal = self.causal_model.penalty(x, x_cf)
+            total = total + causal * cfg.causal_weight_inloss
+            parts["causal"] = causal.item()
         if mu is not None and log_var is not None and cfg.kl_weight:
             kl = gaussian_kl(mu, log_var)
             total = total + kl * cfg.kl_weight

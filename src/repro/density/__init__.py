@@ -18,6 +18,7 @@ from .base import (
     density_from_state,
     fit_class_density,
 )
+from .differentiable import DifferentiableKde, LatentSoftMinDensity, build_inloss_density
 from .estimators import GaussianKdeDensity, KnnDensity, LatentDensity
 
 __all__ = [
@@ -26,10 +27,13 @@ __all__ = [
     "DENSITY_BACKENDS",
     "DENSITY_NAMES",
     "DensityModel",
+    "DifferentiableKde",
     "GaussianKdeDensity",
     "KnnDensity",
     "LatentDensity",
+    "LatentSoftMinDensity",
     "build_density",
+    "build_inloss_density",
     "density_from_state",
     "fit_class_density",
     "recall_at_k",

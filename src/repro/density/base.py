@@ -256,6 +256,7 @@ def density_from_state(state, vae=None):
     estimator scores through (the store persists density state, never a
     second copy of the VAE weights).
     """
+    from .differentiable import DifferentiableKde, LatentSoftMinDensity
     from .estimators import GaussianKdeDensity, KnnDensity, LatentDensity
 
     kind = state.get("kind")
@@ -265,4 +266,8 @@ def density_from_state(state, vae=None):
         return GaussianKdeDensity.from_state(state)
     if kind == "latent":
         return LatentDensity.from_state(state, vae=vae)
+    if kind == "kde_diff":
+        return DifferentiableKde.from_state(state)
+    if kind == "latent_soft":
+        return LatentSoftMinDensity.from_state(state, vae=vae)
     raise KeyError(f"unknown density state kind {kind!r}; options: {DENSITY_NAMES}")

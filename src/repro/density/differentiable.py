@@ -1,0 +1,293 @@
+"""Differentiable density surrogates for the in-objective training term.
+
+The estimators in :mod:`repro.density.estimators` are graph-free scoring
+machines — perfect as post-hoc filters, useless inside the CF-VAE's
+objective where the density cost must backpropagate into the decoder.
+This module provides the two :mod:`repro.nn`-backed surrogates the
+six-part loss uses (ROADMAP item 5):
+
+* :class:`DifferentiableKde` — a Gaussian KDE over a subsampled
+  reference population in encoded input space.  ``penalty`` runs the
+  same whitened-distance + logsumexp math as
+  :class:`repro.density.estimators.GaussianKdeDensity`, but as autograd
+  ops on the candidate Tensor, so the negative mean log-density pulls
+  decoded counterfactuals toward dense regions.
+* :class:`LatentSoftMinDensity` — a soft-min k-NN distance in the
+  CF-VAE's latent space.  The reference rows are re-encoded with the
+  *current* encoder weights each call (graph-free, eval mode), while the
+  candidate batch flows through the graph path of ``vae.encode`` — the
+  differentiable twin of
+  :class:`repro.density.estimators.LatentDensity`'s neighbour distance.
+
+Both implement the full :class:`repro.density.base.DensityModel`
+protocol (``fit`` / ``score`` / ``get_state`` / ``fingerprint``), so the
+artifact store and overlay registry treat them like every other
+estimator; on top of that they expose ``penalty(x_cf, desired) ->
+Tensor``, the hook :class:`repro.core.losses.FourPartLoss` calls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import as_tensor
+from ..nn.losses import logsumexp
+from ..utils.validation import check_2d
+from .base import DensityModel
+
+__all__ = ["DifferentiableKde", "LatentSoftMinDensity", "build_inloss_density"]
+
+
+def _subsample(reference, max_reference, seed):
+    """Deterministic without-replacement subsample, sorted for stability."""
+    reference = check_2d(reference, "reference")
+    if len(reference) <= max_reference:
+        return reference
+    rng = np.random.default_rng(seed)
+    keep = np.sort(rng.choice(len(reference), size=max_reference, replace=False))
+    return reference[keep]
+
+
+class DifferentiableKde(DensityModel):
+    """Gaussian KDE as autograd ops over a bounded reference sample.
+
+    Fitting subsamples the reference to ``max_reference`` rows (the term
+    is evaluated every training step, so the reference must stay small)
+    and derives per-feature Scott's-rule bandwidths exactly like the
+    post-hoc :class:`~repro.density.estimators.GaussianKdeDensity`,
+    scaled by ``bandwidth_scale``.  ``score`` is the graph-free twin of
+    ``penalty`` (same math, per-row costs), used by tests and the
+    perfbench acceptance thresholds.
+    """
+
+    kind = "kde_diff"
+
+    def __init__(self, bandwidth_scale=1.0, max_reference=256, seed=0):
+        if bandwidth_scale <= 0:
+            raise ValueError(f"bandwidth_scale must be positive, got {bandwidth_scale}")
+        if max_reference < 1:
+            raise ValueError(f"max_reference must be >= 1, got {max_reference}")
+        self.bandwidth_scale = float(bandwidth_scale)
+        self.max_reference = int(max_reference)
+        self.seed = int(seed)
+        self.reference_ = None
+        self.bandwidth_ = None
+        self._whitened = None
+        self._ref_norms = None
+        self._log_norm = None
+
+    # -- fitting -------------------------------------------------------
+    def fit(self, reference):
+        # _subsample's check_2d rejects empty references with a ValueError
+        reference = _subsample(reference, self.max_reference, self.seed)
+        n, d = reference.shape
+        sigma = reference.std(axis=0)
+        sigma = np.where(sigma > 1e-12, sigma, 1.0)
+        self.bandwidth_ = sigma * n ** (-1.0 / (d + 4)) * self.bandwidth_scale
+        self.reference_ = reference
+        self._whitened = reference / self.bandwidth_
+        self._ref_norms = (self._whitened ** 2).sum(axis=1)
+        self._log_norm = float(
+            np.log(n) + np.log(self.bandwidth_).sum() + 0.5 * d * np.log(2.0 * np.pi))
+        return self
+
+    @property
+    def n_reference(self):
+        return 0 if self.reference_ is None else len(self.reference_)
+
+    def _require_fitted(self):
+        if self.reference_ is None:
+            raise RuntimeError("density surrogate is not fitted; call fit() first")
+
+    # -- differentiable term -------------------------------------------
+    def penalty(self, x_cf, desired=None):
+        """Negative mean log-density of the candidate batch (scalar Tensor).
+
+        ``desired`` is accepted for interface parity with the latent
+        surrogate and ignored — the KDE reference is already the
+        desired-class population.
+        """
+        self._require_fitted()
+        x_cf = as_tensor(x_cf)
+        whitened = x_cf * (1.0 / self.bandwidth_)
+        sq = ((whitened ** 2).sum(axis=1, keepdims=True)
+              - (whitened @ self._whitened.T) * 2.0
+              + self._ref_norms)
+        exponents = sq.clip_min(0.0) * -0.5
+        log_density = logsumexp(exponents, axis=1) - self._log_norm
+        return -log_density.mean()
+
+    def score(self, candidates):
+        """Graph-free per-row cost (negative log-density), lower = denser."""
+        self._require_fitted()
+        candidates = check_2d(candidates, "candidates")
+        whitened = candidates / self.bandwidth_
+        sq = ((whitened ** 2).sum(axis=1, keepdims=True)
+              - 2.0 * (whitened @ self._whitened.T)
+              + self._ref_norms)
+        exponents = -0.5 * np.maximum(sq, 0.0)
+        peak = exponents.max(axis=1, keepdims=True)
+        log_density = (peak.squeeze(1)
+                       + np.log(np.exp(exponents - peak).sum(axis=1))
+                       - self._log_norm)
+        return -log_density
+
+    # -- persistence ---------------------------------------------------
+    def get_state(self):
+        self._require_fitted()
+        return {
+            "kind": self.kind,
+            "bandwidth_scale": self.bandwidth_scale,
+            "max_reference": self.max_reference,
+            "seed": self.seed,
+            "reference": self.reference_,
+        }
+
+    @classmethod
+    def from_state(cls, state):
+        model = cls(bandwidth_scale=state["bandwidth_scale"],
+                    max_reference=state["max_reference"], seed=state["seed"])
+        # the persisted reference is already the fit-time subsample, so
+        # re-fitting re-derives identical bandwidths deterministically
+        return model.fit(np.asarray(state["reference"], dtype=np.float64))
+
+
+class LatentSoftMinDensity(DensityModel):
+    """Soft-min latent k-NN distance as a differentiable density cost.
+
+    The candidate batch is encoded through the VAE's *graph* path (so
+    gradients reach the encoder and, through the decode→re-encode loop,
+    the decoder); the reference sample is re-encoded graph-free under
+    eval mode every call, because its latent coordinates move as the
+    encoder trains.  The per-row cost is the temperature-smoothed
+    minimum squared latent distance to any reference row::
+
+        cost(z) = -tau * logsumexp(-||z - z_ref||^2 / tau)
+
+    which approaches the hard nearest-neighbour distance as ``tau -> 0``
+    while staying C^1 for the finite-difference gradient checks.
+    """
+
+    kind = "latent_soft"
+    #: the encoder is re-attached on load, like LatentDensity
+    fingerprint_excludes = ()
+
+    def __init__(self, vae=None, desired_class=1, temperature=0.05,
+                 max_reference=256, seed=0):
+        if temperature <= 0:
+            raise ValueError(f"temperature must be positive, got {temperature}")
+        if max_reference < 1:
+            raise ValueError(f"max_reference must be >= 1, got {max_reference}")
+        self.vae = vae
+        self.desired_class = int(desired_class)
+        self.temperature = float(temperature)
+        self.max_reference = int(max_reference)
+        self.seed = int(seed)
+        self.reference_ = None
+
+    # -- fitting -------------------------------------------------------
+    def fit(self, reference):
+        if self.vae is None:
+            raise ValueError("latent density surrogate requires a vae")
+        reference = _subsample(reference, self.max_reference, self.seed)
+        self.reference_ = reference
+        return self
+
+    @property
+    def n_reference(self):
+        return 0 if self.reference_ is None else len(self.reference_)
+
+    def _require_fitted(self):
+        if self.reference_ is None:
+            raise RuntimeError("density surrogate is not fitted; call fit() first")
+
+    def _latent_reference(self):
+        """Reference latents under the *current* encoder weights.
+
+        Runs graph-free in eval mode so the reference encoding neither
+        allocates autograd nodes nor consumes the VAE's dropout RNG;
+        the training flag is restored afterwards.
+        """
+        was_training = self.vae.training
+        self.vae.eval()
+        labels = np.full(len(self.reference_), float(self.desired_class))
+        mu, _ = self.vae.encode_array(self.reference_, labels)
+        if was_training:
+            self.vae.train()
+        return mu
+
+    # -- differentiable term -------------------------------------------
+    def penalty(self, x_cf, desired=None):
+        """Mean soft-min squared latent distance to the reference (Tensor)."""
+        self._require_fitted()
+        x_cf = as_tensor(x_cf)
+        if desired is None:
+            labels = np.full(x_cf.shape[0], float(self.desired_class))
+        else:
+            labels = np.asarray(desired, dtype=np.float64)
+        mu, _ = self.vae.encode(x_cf, labels)
+        ref = self._latent_reference()
+        sq = ((mu ** 2).sum(axis=1, keepdims=True)
+              - (mu @ ref.T) * 2.0
+              + (ref ** 2).sum(axis=1))
+        soft_min = logsumexp(sq.clip_min(0.0) * (-1.0 / self.temperature),
+                             axis=1) * -self.temperature
+        return soft_min.mean()
+
+    def score(self, candidates):
+        """Graph-free per-row soft-min latent distance (lower = denser)."""
+        self._require_fitted()
+        candidates = check_2d(candidates, "candidates")
+        was_training = self.vae.training
+        self.vae.eval()
+        labels = np.full(len(candidates), float(self.desired_class))
+        mu, _ = self.vae.encode_array(candidates, labels)
+        if was_training:
+            self.vae.train()
+        ref = self._latent_reference()
+        sq = ((mu ** 2).sum(axis=1, keepdims=True)
+              - 2.0 * (mu @ ref.T)
+              + (ref ** 2).sum(axis=1))
+        sq = np.maximum(sq, 0.0)
+        scaled = -sq / self.temperature
+        peak = scaled.max(axis=1, keepdims=True)
+        return -self.temperature * (
+            peak.squeeze(1) + np.log(np.exp(scaled - peak).sum(axis=1)))
+
+    # -- persistence ---------------------------------------------------
+    def get_state(self):
+        self._require_fitted()
+        return {
+            "kind": self.kind,
+            "desired_class": self.desired_class,
+            "temperature": self.temperature,
+            "max_reference": self.max_reference,
+            "seed": self.seed,
+            "reference": self.reference_,
+        }
+
+    @classmethod
+    def from_state(cls, state, vae=None):
+        model = cls(vae=vae, desired_class=state["desired_class"],
+                    temperature=state["temperature"],
+                    max_reference=state["max_reference"], seed=state["seed"])
+        return model.fit(np.asarray(state["reference"], dtype=np.float64))
+
+
+def build_inloss_density(config, vae=None, desired_class=1):
+    """Construct the unfitted surrogate a :class:`DensityLossConfig` names.
+
+    The factory :meth:`repro.core.generator.CFVAEGenerator.prepare_inloss`
+    and the explainer's fit path call; ``vae``/``desired_class`` only
+    matter for the ``latent`` kind.
+    """
+    if config.kind == "kde":
+        return DifferentiableKde(bandwidth_scale=config.bandwidth_scale,
+                                 max_reference=config.max_reference,
+                                 seed=config.seed)
+    if config.kind == "latent":
+        return LatentSoftMinDensity(vae=vae, desired_class=desired_class,
+                                    temperature=config.temperature,
+                                    max_reference=config.max_reference,
+                                    seed=config.seed)
+    raise KeyError(f"unknown in-loss density kind {config.kind!r}")

@@ -15,7 +15,9 @@ variants — every grid entry with an ``scm`` (structural-equation repair)
 and ``mined`` (discovered-relation repair) causal-aware runner — and the
 robust variants — every grid entry with a K-model ensemble runner
 (``+robust``), plus the density-guided combination of ensemble and
-``knn`` estimator (``+robust-knn``).  Variant names follow
+``knn`` estimator (``+robust-knn``) — and the in-loss variants — the
+core ``ours_*`` strategies trained under the six-part objective with
+differentiable density/causal terms (``+inloss``).  Variant names follow
 ``"<dataset>/<strategy>+<model>"``.  ``register_scenario`` adds custom
 entries.
 """
@@ -108,6 +110,11 @@ class Scenario:
         ``robust_validity`` columns.
     robust_quorum:
         Member-agreement fraction a candidate needs to count as robust.
+    inloss:
+        Train with the six-part in-objective loss (differentiable
+        density + causal terms folded into CF-VAE training; see
+        :func:`repro.core.inloss_config`).  Only the core ``ours_*``
+        strategies train a CF-VAE, so only they accept it.
     """
 
     name: str
@@ -123,6 +130,7 @@ class Scenario:
     causal: str = None
     ensemble: int = 0
     robust_quorum: float = 0.5
+    inloss: bool = False
 
     def params(self):
         """``strategy_params`` as a plain dict."""
@@ -182,6 +190,12 @@ def register_scenario(scenario, overwrite=False):
     if not 0.0 < scenario.robust_quorum <= 1.0:
         raise ValueError(
             f"robust_quorum must be in (0, 1], got {scenario.robust_quorum}"
+        )
+    if scenario.inloss and not scenario.strategy.startswith("ours_"):
+        raise ValueError(
+            f"scenario {scenario.name!r}: in-loss training applies to the "
+            f"core (ours_*) strategies only; {scenario.strategy!r} trains "
+            f"no CF-VAE objective"
         )
     if not overwrite and scenario.name in _SCENARIOS:
         raise KeyError(f"scenario {scenario.name!r} already registered")
@@ -259,6 +273,21 @@ def _register_builtins():
                         ensemble=DEFAULT_ENSEMBLE_SIZE,
                     )
                 )
+            # in-loss variants: the core CF-VAE trained under the
+            # six-part objective (density + causal terms in-loss), with
+            # the same diverse sweep as the density variants so the
+            # candidates-per-valid-CF payoff is observable
+            if strategy.startswith("ours_"):
+                register_scenario(
+                    Scenario(
+                        name=f"{dataset}/{strategy}+inloss",
+                        dataset=dataset,
+                        strategy=strategy,
+                        constraint_kind=kind,
+                        strategy_params=params,
+                        inloss=True,
+                    )
+                )
 
 
 #: Sentinel for "no filter" (None filters for model-less entries).
@@ -266,22 +295,23 @@ _ANY = object()
 
 
 def scenario_names(dataset=None, strategy=None, density=_ANY, causal=_ANY,
-                   ensemble=_ANY):
+                   ensemble=_ANY, inloss=_ANY):
     """Registered scenario names, optionally filtered."""
     matches = iter_scenarios(dataset=dataset, strategy=strategy,
                              density=density, causal=causal,
-                             ensemble=ensemble)
+                             ensemble=ensemble, inloss=inloss)
     return [s.name for s in matches]
 
 
 def iter_scenarios(dataset=None, strategy=None, density=_ANY, causal=_ANY,
-                   ensemble=_ANY):
+                   ensemble=_ANY, inloss=_ANY):
     """Iterate registered scenarios in registration order, filtered.
 
     ``density`` / ``causal`` filter on the hosted model name; pass
     ``None`` explicitly to iterate only entries without that model (the
     default matches every entry).  ``ensemble`` filters on the hosted
     ensemble size; pass ``0`` explicitly for single-model entries only.
+    ``inloss`` filters on the six-part-objective flag.
     """
     for scenario in _SCENARIOS.values():
         if dataset is not None and scenario.dataset != dataset:
@@ -293,6 +323,8 @@ def iter_scenarios(dataset=None, strategy=None, density=_ANY, causal=_ANY,
         if causal is not _ANY and scenario.causal != causal:
             continue
         if ensemble is not _ANY and scenario.ensemble != ensemble:
+            continue
+        if inloss is not _ANY and scenario.inloss != inloss:
             continue
         yield scenario
 
@@ -355,12 +387,21 @@ def run_scenario(scenario, scale=None, seed=0, store=None, context=None, runner=
         )
     encoder = context.bundle.encoder
 
+    config = None
+    if scenario.inloss:
+        from ..core import inloss_config, paper_config
+
+        # the Table III config the strategy would pick by default, with
+        # the six-part in-objective terms switched on
+        config = inloss_config(
+            paper_config(scenario.dataset, scenario.constraint_kind))
     strategy = build_strategy(
         scenario.strategy,
         encoder,
         context.blackbox,
         dataset=scenario.dataset,
         seed=context.seed,
+        config=config,
         **scenario.params(),
     )
     strategy.fit(context.x_train, context.y_train)

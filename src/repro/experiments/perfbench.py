@@ -74,6 +74,16 @@ about ("as fast as the hardware allows"):
   >= 3x speedup; the tiled k-NN scorer and the KDE estimator ride along
   as informational rates.
 
+* **inloss** — sample efficiency of the six-part in-objective training
+  (:func:`repro.core.inloss_config`): candidates-needed-per-accepted-CF
+  at a fixed ``n_candidates`` sweep, four-part post-hoc baseline vs
+  in-loss training on a shared black-box, acceptance = valid AND
+  feasible AND in-distribution (k-NN distance to the desired-class
+  reference within a held-out quantile) AND causally plausible (SCM
+  repair fixpoint).  Validity is asserted no
+  worse than the baseline and the reduction must hold the
+  :data:`MIN_INLOSS_REDUCTION` floor.
+
 The workload is fixed per scale so numbers are comparable across
 commits; ``PRE_PR_BASELINE`` pins the numbers measured with this exact
 harness on the pre-fast-path engine (commit 55714a9), and the emitted
@@ -98,8 +108,10 @@ from ..core.selection import generate_candidates
 from ..data import load_dataset
 from ..models import BlackBoxClassifier, train_classifier
 
-__all__ = ["MIN_ANN_RECALL", "MIN_ANN_SPEEDUP", "MIN_CAUSAL_SPEEDUP",
-           "MIN_DENSITY_SPEEDUP", "MIN_KERNEL_SPEEDUP",
+__all__ = ["INLOSS_CAUSAL_TOLERANCE", "INLOSS_DENSITY_QUANTILE",
+           "MIN_ANN_RECALL", "MIN_ANN_SPEEDUP", "MIN_CAUSAL_SPEEDUP",
+           "MIN_DENSITY_SPEEDUP", "MIN_INLOSS_REDUCTION",
+           "MIN_KERNEL_SPEEDUP",
            "MIN_PLAN_SPEEDUP", "MIN_ROBUST_SPEEDUP",
            "MIN_SERVE_SCALE_SPEEDUP", "PERF_SCALES",
            "PRE_PR_BASELINE", "run_perfbench", "write_bench"]
@@ -142,6 +154,25 @@ MIN_ANN_SPEEDUP = 5.0
 #: index that returns the wrong neighbours is a bug, not a win.
 MIN_ANN_RECALL = 0.9
 
+#: Acceptance floor: training with the in-objective density/causal
+#: terms (the six-part loss) must cut candidates-needed-per-accepted-CF
+#: by at least this factor against the post-hoc-only four-part baseline
+#: at the same fixed ``n_candidates`` — the sample-efficiency claim of
+#: the in-loss PR.
+MIN_INLOSS_REDUCTION = 2.0
+
+#: Density acceptance for the ``inloss`` section: a candidate counts as
+#: in-distribution when its mean k-NN distance to the desired-class
+#: reference is no worse than this quantile of *held-out* desired-class
+#: rows' own scores (0.5 = at least as close to the manifold as the
+#: median real desired-class row).
+INLOSS_DENSITY_QUANTILE = 0.5
+
+#: Causal acceptance for the ``inloss`` section: a candidate counts as
+#: causally plausible when the SCM repair moves no coordinate by more
+#: than this (in encoded [0, 1] units).
+INLOSS_CAUSAL_TOLERANCE = 0.1
+
 #: Workload definitions.  ``smoke`` finishes in well under a minute and is
 #: what CI runs; ``full`` is for local trajectory tracking.
 PERF_SCALES = {
@@ -170,6 +201,9 @@ PERF_SCALES = {
         "serve_scale_cache": 24,
         "serve_scale_passes": 6,
         "serve_scale_replicas": [1, 2, 4],
+        "inloss_rows": 24,
+        "inloss_candidates": 12,
+        "inloss_epochs": 12,
         "min_seconds": 1.0,
     },
     "full": {
@@ -197,6 +231,9 @@ PERF_SCALES = {
         "serve_scale_cache": 48,
         "serve_scale_passes": 8,
         "serve_scale_replicas": [1, 2, 4],
+        "inloss_rows": 64,
+        "inloss_candidates": 16,
+        "inloss_epochs": 12,
         "min_seconds": 1.5,
     },
 }
@@ -685,6 +722,123 @@ def _plan_section(explainer, bundle, spec, min_seconds, seed):
     }
 
 
+def _inloss_section(bundle, spec, seed):
+    """Measure sample efficiency of in-objective (six-part) training.
+
+    The claim under test is the in-loss PR's acceptance bar: pulling the
+    density and causal criteria *into the training objective* should
+    mean far fewer decoded candidates are burned per accepted
+    counterfactual at serving time, because the generator already
+    decodes into dense, causally consistent regions instead of relying
+    on post-hoc filtering alone.
+
+    Two explainers share ONE black-box (so validity judgments are
+    identical) and differ only in the training objective: the four-part
+    post-hoc baseline vs the six-part ``inloss_config`` objective.  Both
+    explain the same undesired-class test rows with the same fixed
+    ``inloss_candidates`` latent sweep, and a candidate is *accepted*
+    when it is valid, feasible, at least as close to the desired-class
+    manifold (mean k-NN distance) as the
+    :data:`INLOSS_DENSITY_QUANTILE` quantile of held-out desired-class
+    rows, and survives SCM repair within
+    :data:`INLOSS_CAUSAL_TOLERANCE` — the full post-hoc acceptance
+    stack.  The gated metric is ``reduction_vs_posthoc = baseline
+    candidates-per-accepted / in-loss candidates-per-accepted``,
+    asserted to hold the :data:`MIN_INLOSS_REDUCTION` floor; black-box
+    validity is asserted no worse than the baseline before any number
+    is reported.  When a run accepts *nothing*, its
+    candidates-per-accepted is reported as the sweep size — a lower
+    bound ("needed more candidates than the whole sweep"), flagged by
+    ``accepted == 0`` in the section payload.
+    """
+    from ..causal import ScmCausalModel
+    from ..core import inloss_config
+    from ..density import KnnDensity
+
+    n = spec["inloss_rows"]
+    m = spec["inloss_candidates"]
+    x_train, y_train = bundle.split("train")
+    x_train = x_train[:spec["train_rows"]]
+    y_train = y_train[:spec["train_rows"]]
+
+    base_config = fast_config(epochs=spec["inloss_epochs"])
+    baseline = FeasibleCFExplainer(
+        bundle.encoder, constraint_kind="unary", config=base_config,
+        seed=seed)
+    baseline.fit(x_train, y_train, blackbox_epochs=spec["train_epochs"])
+    inloss = FeasibleCFExplainer(
+        bundle.encoder, constraint_kind="unary",
+        config=inloss_config(base_config), blackbox=baseline.blackbox,
+        seed=seed)
+    inloss.fit(x_train, y_train)
+
+    desired_class = int(bundle.schema.desired_class)
+    x_test, _ = bundle.split("test")
+    rows = x_test[baseline.blackbox.predict(x_test) != desired_class][:n]
+    if len(rows) == 0:
+        raise AssertionError(
+            "inloss workload found no undesired-class test rows")
+
+    reference = x_train[np.asarray(y_train) == desired_class]
+    knn = KnnDensity(k_neighbors=8).fit(reference)
+    heldout = x_test[np.asarray(bundle.split("test")[1]) == desired_class]
+    threshold = float(np.quantile(
+        knn.score(heldout), INLOSS_DENSITY_QUANTILE))
+    causal = ScmCausalModel(bundle.encoder).fit(x_train)
+
+    def acceptance(explainer):
+        sets = generate_candidates(
+            explainer, rows, n_candidates=m,
+            rng=np.random.default_rng(seed + 4242))
+        sweep = np.stack([cs.candidates for cs in sets])
+        usable = np.stack([cs.usable_mask for cs in sets])
+        flat = sweep.reshape(-1, sweep.shape[-1])
+        dense = (knn.score(flat) <= threshold).reshape(usable.shape)
+        repaired = causal.repair_batch(rows, sweep)
+        plausible = (np.abs(repaired - sweep).max(axis=-1)
+                     <= INLOSS_CAUSAL_TOLERANCE)
+        accepted = usable & dense & plausible
+        validity = float(
+            np.stack([cs.valid for cs in sets]).any(axis=1).mean())
+        n_accepted = int(accepted.sum())
+        return {
+            "accepted": n_accepted,
+            "candidates_per_accepted": round(
+                accepted.size / max(n_accepted, 1), 2),
+            "accepted_rate": round(n_accepted / accepted.size, 4),
+            "rows_with_accepted_cf": round(
+                float(accepted.any(axis=1).mean()), 4),
+            "validity": round(validity, 4),
+        }
+
+    posthoc = acceptance(baseline)
+    sixpart = acceptance(inloss)
+    if sixpart["validity"] < posthoc["validity"]:
+        raise AssertionError(
+            f"in-loss training dropped validity: "
+            f"{sixpart['validity']:.2%} vs {posthoc['validity']:.2%}")
+    reduction = (posthoc["candidates_per_accepted"]
+                 / sixpart["candidates_per_accepted"])
+    if reduction < MIN_INLOSS_REDUCTION:
+        raise AssertionError(
+            f"in-loss candidates-per-accepted reduction {reduction:.2f}x "
+            f"is below the {MIN_INLOSS_REDUCTION}x floor "
+            f"({posthoc['candidates_per_accepted']} -> "
+            f"{sixpart['candidates_per_accepted']} candidates per "
+            f"accepted CF)")
+
+    return {
+        "rows": len(rows),
+        "n_candidates": m,
+        "epochs": spec["inloss_epochs"],
+        "density_quantile": INLOSS_DENSITY_QUANTILE,
+        "causal_tolerance": INLOSS_CAUSAL_TOLERANCE,
+        "posthoc": posthoc,
+        "inloss": sixpart,
+        "reduction_vs_posthoc": round(reduction, 2),
+    }
+
+
 def _serve_section(spec, seed):
     """Time cold-start vs warm-start serving on the bench workload.
 
@@ -976,6 +1130,7 @@ def run_perfbench(scale="smoke", seed=0):
         "causal": _causal_section(bundle, spec, min_seconds, seed),
         "robust": _robust_section(bundle, spec, min_seconds, seed),
         "plan": _plan_section(explainer, bundle, spec, min_seconds, seed),
+        "inloss": _inloss_section(bundle, spec, seed),
         "serve": _serve_section(spec, seed),
         "serve_scale": _serve_scale_section(spec, seed),
     }

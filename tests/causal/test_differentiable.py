@@ -1,0 +1,116 @@
+"""Differentiable causal surrogates: gradients, repair semantics, dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.causal import (
+    MinedCausalModel,
+    MinedLossSurrogate,
+    ScmLossSurrogate,
+    causal_loss_surrogate,
+    fit_causal,
+)
+from repro.data import load_dataset
+from repro.nn import Tensor
+from tests.helpers.parity import assert_grad_matches_fd
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    bundle = load_dataset("adult", n_instances=300, seed=0)
+    x, y = bundle.split("train")
+    scm = fit_causal("scm", bundle.encoder, x, y)
+    mined = fit_causal("mined", bundle.encoder, x, y)
+    return bundle, x, scm, mined
+
+
+class TestScmLossSurrogate:
+    def test_identity_pays_nothing(self, fitted):
+        # x == x_cf: no cause moved, every monotone/floor bound holds on
+        # real data, so the abduct->re-predict residual gap is zero
+        _, x, scm, _ = fitted
+        surrogate = ScmLossSurrogate(scm)
+        assert surrogate.penalty(x, Tensor(x.copy())).item() == pytest.approx(
+            0.0, abs=1e-12)
+
+    def test_gradient_matches_finite_differences(self, fitted):
+        _, x, scm, _ = fitted
+        surrogate = ScmLossSurrogate(scm)
+        x_cf = np.random.default_rng(3).random(x[:6].shape)
+        assert_grad_matches_fd(lambda t: surrogate.penalty(x[:6], t), x_cf,
+                               context="ScmLossSurrogate.penalty")
+
+    def test_monotone_violation_penalised(self, fitted):
+        bundle, x, scm, _ = fitted
+        surrogate = ScmLossSurrogate(scm)
+        younger = x.copy()
+        younger[:, bundle.encoder.column_of("age")] -= 0.3
+        assert surrogate.penalty(x, Tensor(younger)).item() > 0.0
+
+    def test_probe_classifies_additive_equations(self, fitted):
+        # adult's single additive equation (hours <- occupation, gender)
+        # has an affine skeleton, so it must take the graph path
+        _, _, scm, _ = fitted
+        surrogate = ScmLossSurrogate(scm)
+        additive = {eq.label for eq in scm.equations if eq.mode == "additive"}
+        assert set(surrogate._graph_safe) == additive
+        assert all(surrogate._graph_safe.values())
+
+    def test_rejects_wrong_model_type(self, fitted):
+        _, _, _, mined = fitted
+        with pytest.raises(TypeError, match="ScmCausalModel"):
+            ScmLossSurrogate(mined)
+
+    def test_fingerprint_delegates(self, fitted):
+        _, _, scm, _ = fitted
+        assert ScmLossSurrogate(scm).fingerprint() == scm.fingerprint()
+
+
+class TestMinedLossSurrogate:
+    def test_penalty_nonnegative_and_differentiable(self, fitted):
+        _, x, _, mined = fitted
+        surrogate = MinedLossSurrogate(mined)
+        x_cf = np.random.default_rng(4).random(x[:6].shape)
+        grad = assert_grad_matches_fd(
+            lambda t: surrogate.penalty(x[:6], t), x_cf,
+            context="MinedLossSurrogate.penalty")
+        assert surrogate.penalty(x[:6], Tensor(x_cf)).item() >= 0.0
+        assert np.isfinite(grad).all()
+
+    def test_raising_effect_reduces_penalty(self, fitted):
+        # moving a cause up puts a floor under the effect; raising the
+        # effect toward that floor must shrink the squared hinge
+        bundle, x, _, mined = fitted
+        surrogate = MinedLossSurrogate(mined)
+        cause, effect, _ = mined.relations[0]
+        moved = x[:32].copy()
+        column = bundle.encoder.column_of(effect)
+        low = surrogate.penalty(x[:32], Tensor(moved)).item()
+        lowered = moved.copy()
+        lowered[:, column] = np.clip(lowered[:, column] - 0.4, 0.0, 1.0)
+        assert surrogate.penalty(x[:32], Tensor(lowered)).item() > low
+
+    def test_requires_fitted_model(self, fitted):
+        bundle, _, _, _ = fitted
+        with pytest.raises(RuntimeError, match="not fitted"):
+            MinedLossSurrogate(MinedCausalModel(bundle.encoder))
+
+    def test_rejects_wrong_model_type(self, fitted):
+        _, _, scm, _ = fitted
+        with pytest.raises(TypeError, match="MinedCausalModel"):
+            MinedLossSurrogate(scm)
+
+    def test_fingerprint_delegates(self, fitted):
+        _, _, _, mined = fitted
+        assert MinedLossSurrogate(mined).fingerprint() == mined.fingerprint()
+
+
+class TestDispatch:
+    def test_wraps_by_model_type(self, fitted):
+        _, _, scm, mined = fitted
+        assert isinstance(causal_loss_surrogate(scm), ScmLossSurrogate)
+        assert isinstance(causal_loss_surrogate(mined), MinedLossSurrogate)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(TypeError, match="no loss surrogate"):
+            causal_loss_surrogate(object())

@@ -1,0 +1,150 @@
+"""Differentiable density surrogates: gradients, scoring and persistence."""
+
+import types
+
+import numpy as np
+import pytest
+
+from repro.core import DensityLossConfig
+from repro.density import (
+    DifferentiableKde,
+    LatentSoftMinDensity,
+    build_inloss_density,
+    density_from_state,
+)
+from repro.models import ConditionalVAE
+from tests.helpers.parity import assert_grad_matches_fd
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return np.random.default_rng(0).random((40, 6))
+
+
+@pytest.fixture(scope="module")
+def candidates():
+    return np.random.default_rng(1).random((5, 6))
+
+
+@pytest.fixture(scope="module")
+def vae():
+    model = ConditionalVAE(6, np.random.default_rng(2), latent_dim=4)
+    model.eval()  # dropout off: penalty/score must be deterministic here
+    return model
+
+
+class TestDifferentiableKde:
+    def test_gradient_matches_finite_differences(self, reference, candidates):
+        kde = DifferentiableKde().fit(reference)
+        assert_grad_matches_fd(kde.penalty, candidates,
+                               context="DifferentiableKde.penalty")
+
+    def test_penalty_is_mean_of_scores(self, reference, candidates):
+        kde = DifferentiableKde().fit(reference)
+        assert kde.penalty(candidates).item() == pytest.approx(
+            kde.score(candidates).mean())
+
+    def test_denser_candidates_score_lower(self, reference):
+        kde = DifferentiableKde().fit(reference)
+        on_manifold = reference[:5]
+        off_manifold = np.full((5, 6), 5.0)
+        assert kde.penalty(on_manifold).item() < kde.penalty(off_manifold).item()
+
+    def test_state_round_trip(self, reference, candidates):
+        kde = DifferentiableKde(bandwidth_scale=1.5, max_reference=32).fit(reference)
+        rebuilt = density_from_state(kde.get_state())
+        assert isinstance(rebuilt, DifferentiableKde)
+        np.testing.assert_array_equal(rebuilt.score(candidates),
+                                      kde.score(candidates))
+        assert rebuilt.fingerprint() == kde.fingerprint()
+
+    def test_fingerprint_tracks_bandwidth(self, reference):
+        narrow = DifferentiableKde(bandwidth_scale=0.5).fit(reference)
+        wide = DifferentiableKde(bandwidth_scale=2.0).fit(reference)
+        assert narrow.fingerprint() != wide.fingerprint()
+        again = DifferentiableKde(bandwidth_scale=0.5).fit(reference)
+        assert again.fingerprint() == narrow.fingerprint()
+
+    def test_subsample_is_bounded_and_deterministic(self, reference):
+        small = DifferentiableKde(max_reference=16).fit(reference)
+        assert small.n_reference == 16
+        again = DifferentiableKde(max_reference=16).fit(reference)
+        np.testing.assert_array_equal(again.reference_, small.reference_)
+
+    def test_validation(self, reference):
+        with pytest.raises(ValueError, match="bandwidth_scale"):
+            DifferentiableKde(bandwidth_scale=0.0)
+        with pytest.raises(ValueError, match="max_reference"):
+            DifferentiableKde(max_reference=0)
+        with pytest.raises(ValueError, match="non-empty"):
+            DifferentiableKde().fit(reference[:0])
+        with pytest.raises(RuntimeError, match="not fitted"):
+            DifferentiableKde().penalty(reference)
+
+
+class TestLatentSoftMinDensity:
+    def test_gradient_matches_finite_differences(self, vae, reference, candidates):
+        latent = LatentSoftMinDensity(vae=vae, temperature=0.1).fit(reference)
+        assert_grad_matches_fd(latent.penalty, candidates,
+                               context="LatentSoftMinDensity.penalty")
+
+    def test_penalty_is_mean_of_scores(self, vae, reference, candidates):
+        latent = LatentSoftMinDensity(vae=vae).fit(reference)
+        assert latent.penalty(candidates).item() == pytest.approx(
+            latent.score(candidates).mean())
+
+    def test_reference_rows_are_near_zero_cost(self, vae, reference):
+        # a reference row's soft-min latent distance to itself is ~0
+        latent = LatentSoftMinDensity(vae=vae, temperature=0.01).fit(reference)
+        scores = latent.score(reference[:8])
+        assert np.all(scores < 0.05)
+
+    def test_training_flag_restored(self, vae, reference, candidates):
+        latent = LatentSoftMinDensity(vae=vae).fit(reference)
+        vae.train()
+        try:
+            latent.score(candidates)
+            assert vae.training is True
+        finally:
+            vae.eval()
+
+    def test_state_round_trip_reattaches_vae(self, vae, reference, candidates):
+        latent = LatentSoftMinDensity(vae=vae, temperature=0.2).fit(reference)
+        rebuilt = density_from_state(latent.get_state(), vae=vae)
+        assert isinstance(rebuilt, LatentSoftMinDensity)
+        assert rebuilt.temperature == 0.2
+        np.testing.assert_array_equal(rebuilt.score(candidates),
+                                      latent.score(candidates))
+
+    def test_validation(self, vae, reference):
+        with pytest.raises(ValueError, match="requires a vae"):
+            LatentSoftMinDensity().fit(reference)
+        with pytest.raises(ValueError, match="temperature"):
+            LatentSoftMinDensity(vae=vae, temperature=0.0)
+        with pytest.raises(RuntimeError, match="not fitted"):
+            LatentSoftMinDensity(vae=vae).penalty(reference)
+
+
+class TestBuildInlossDensity:
+    def test_kde_kind(self):
+        config = DensityLossConfig(kind="kde", bandwidth_scale=2.0,
+                                   max_reference=32, seed=7)
+        model = build_inloss_density(config)
+        assert isinstance(model, DifferentiableKde)
+        assert model.bandwidth_scale == 2.0
+        assert model.max_reference == 32
+        assert model.seed == 7
+
+    def test_latent_kind(self, vae):
+        config = DensityLossConfig(kind="latent", temperature=0.3)
+        model = build_inloss_density(config, vae=vae, desired_class=0)
+        assert isinstance(model, LatentSoftMinDensity)
+        assert model.vae is vae
+        assert model.temperature == 0.3
+        assert model.desired_class == 0
+
+    def test_unknown_kind_rejected(self):
+        # DensityLossConfig validates eagerly, so an unknown kind can only
+        # arrive via a foreign config object
+        with pytest.raises(KeyError, match="unknown in-loss density"):
+            build_inloss_density(types.SimpleNamespace(kind="nope"))

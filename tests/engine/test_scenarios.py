@@ -27,6 +27,7 @@ class TestRegistry:
         per_dataset = sum(
             1 + len(density_variants_for(strategy)) + len(CAUSAL_NAMES)
             + n_robust_variants
+            + (1 if strategy.startswith("ours_") else 0)  # +inloss
             for strategy in STRATEGY_NAMES)
         assert len(names) == len(dataset_names()) * per_dataset
         for dataset in dataset_names():
@@ -38,6 +39,8 @@ class TestRegistry:
                     assert f"{dataset}/{strategy}+{causal}" in names
                 assert f"{dataset}/{strategy}+robust" in names
                 assert f"{dataset}/{strategy}+robust-knn" in names
+                if strategy.startswith("ours_"):
+                    assert f"{dataset}/{strategy}+inloss" in names
 
     def test_grid_holds_the_causal_acceptance_floor(self):
         # the issue's acceptance bar: >= 140 entries with +scm variants
@@ -64,8 +67,12 @@ class TestRegistry:
 
     def test_filters(self):
         adult = list(iter_scenarios(
-            dataset="adult", density=None, causal=None, ensemble=0))
+            dataset="adult", density=None, causal=None, ensemble=0,
+            inloss=False))
         assert len(adult) == len(STRATEGY_NAMES)
+        inloss = list(iter_scenarios(dataset="adult", inloss=True))
+        assert {s.strategy for s in inloss} == {"ours_unary", "ours_binary"}
+        assert all(s.inloss for s in inloss)
         face = list(iter_scenarios(
             strategy="face", density=None, causal=None, ensemble=0))
         assert {s.dataset for s in face} == set(dataset_names())
@@ -99,6 +106,13 @@ class TestRegistry:
             register_scenario(Scenario("x", "adult", "cem", desired="maybe"))
         with pytest.raises(KeyError, match="already registered"):
             register_scenario(Scenario("adult/cem", "adult", "cem"))
+
+    def test_register_rejects_inloss_on_noncore_strategy(self):
+        # only the core (ours_*) strategies train a CF-VAE objective the
+        # six-part in-loss terms could fold into
+        with pytest.raises(ValueError, match="in-loss"):
+            register_scenario(
+                Scenario("x/cem+inloss", "adult", "cem", inloss=True))
 
     def test_register_custom_and_overwrite(self):
         scenario = Scenario(

@@ -22,7 +22,7 @@ def gate():
 def _results(train=100.0, predict=1000.0, candidates=500.0,
              constraint_eval=2000.0, scenarios=50.0, density=300.0,
              causal=700.0, robust=400.0, plan=600.0, serve_scale=800.0,
-             density_at_scale=900.0):
+             density_at_scale=900.0, inloss=10.0):
     return {
         "train": {"rows_per_sec": train},
         "predict": {"rows_per_sec": predict},
@@ -35,6 +35,7 @@ def _results(train=100.0, predict=1000.0, candidates=500.0,
         "plan": {"rows_per_sec": plan},
         "serve_scale": {"rows_per_sec": serve_scale},
         "density_at_scale": {"rows_per_sec": density_at_scale},
+        "inloss": {"reduction_vs_posthoc": inloss},
     }
 
 
@@ -42,7 +43,7 @@ class TestCompare:
     def test_no_regression_passes(self, gate):
         rows, failures = gate.compare(_results(), _results(predict=990.0))
         assert failures == []
-        assert len(rows) == 11
+        assert len(rows) == 12
 
     def test_density_is_gated(self, gate):
         _, failures = gate.compare(_results(), _results(density=10.0))
@@ -73,6 +74,11 @@ class TestCompare:
         _, failures = gate.compare(_results(), _results(density_at_scale=10.0))
         assert len(failures) == 1
         assert "density_at_scale" in failures[0]
+
+    def test_inloss_is_gated(self, gate):
+        _, failures = gate.compare(_results(), _results(inloss=2.0))
+        assert len(failures) == 1
+        assert "inloss.reduction_vs_posthoc" in failures[0]
 
     def test_constraint_eval_is_gated(self, gate):
         _, failures = gate.compare(_results(), _results(constraint_eval=100.0))
